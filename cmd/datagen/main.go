@@ -1,0 +1,39 @@
+// Command datagen writes one of the synthetic evaluation datasets as
+// newline-delimited JSON, suitable for simdb's "load" command or any
+// other JSON consumer:
+//
+//	datagen -kind amazon -n 100000 -seed 1 > amazon.jsonl
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"simdb/internal/adm"
+	"simdb/internal/datagen"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "amazon", "dataset kind: amazon | reddit | twitter")
+		n     = flag.Int("n", 10000, "record count")
+		seed  = flag.Int64("seed", 1, "random seed")
+		title = flag.Int("titlewords", 40, "average reddit title length in words")
+	)
+	flag.Parse()
+	w := bufio.NewWriterSize(os.Stdout, 1<<20)
+	defer w.Flush()
+	enc := json.NewEncoder(w)
+	err := datagen.Generate(datagen.Kind(*kind), *n,
+		datagen.Options{Seed: *seed, TitleWords: *title},
+		func(v adm.Value) error {
+			return enc.Encode(adm.ToJSONish(v))
+		})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module simdb
+
+go 1.22

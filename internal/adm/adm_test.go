@@ -1,0 +1,390 @@
+package adm
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull: "null", KindBool: "boolean", KindInt: "int64",
+		KindDouble: "double", KindString: "string", KindList: "orderedlist",
+		KindBag: "unorderedlist", KindRecord: "record",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	if !NewBool(true).Bool() {
+		t.Error("Bool accessor")
+	}
+	if NewInt(42).Int() != 42 {
+		t.Error("Int accessor")
+	}
+	if NewDouble(1.5).Double() != 1.5 {
+		t.Error("Double accessor")
+	}
+	if NewString("x").Str() != "x" {
+		t.Error("Str accessor")
+	}
+	if len(NewList([]Value{NewInt(1)}).Elems()) != 1 {
+		t.Error("Elems accessor")
+	}
+	if !Null.IsNull() {
+		t.Error("zero Value should be null")
+	}
+	var zero Value
+	if zero.Kind() != KindNull {
+		t.Error("zero Value kind should be null")
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong-kind accessor")
+		}
+	}()
+	_ = NewInt(1).Str()
+}
+
+func TestNum(t *testing.T) {
+	if f, ok := NewInt(3).Num(); !ok || f != 3 {
+		t.Errorf("Num(int 3) = %v, %v", f, ok)
+	}
+	if f, ok := NewDouble(2.5).Num(); !ok || f != 2.5 {
+		t.Errorf("Num(double 2.5) = %v, %v", f, ok)
+	}
+	if _, ok := NewString("x").Num(); ok {
+		t.Error("Num on string should report false")
+	}
+}
+
+func TestRecordBasics(t *testing.T) {
+	r := EmptyRecord(2)
+	r.Set("a", NewInt(1))
+	r.Set("b", NewString("two"))
+	r.Set("a", NewInt(10)) // replace
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	if v, ok := r.Get("a"); !ok || v.Int() != 10 {
+		t.Errorf("Get(a) = %v, %v", v, ok)
+	}
+	if _, ok := r.Get("missing"); ok {
+		t.Error("Get(missing) should report false")
+	}
+	name, v := r.FieldAt(1)
+	if name != "b" || v.Str() != "two" {
+		t.Errorf("FieldAt(1) = %q, %v", name, v)
+	}
+}
+
+func TestRecordGetPath(t *testing.T) {
+	inner := EmptyRecord(1)
+	inner.Set("name", NewString("ann"))
+	outer := EmptyRecord(2)
+	outer.Set("user", NewRecord(inner))
+	outer.Set("id", NewInt(7))
+	if v, ok := outer.GetPath("user.name"); !ok || v.Str() != "ann" {
+		t.Errorf("GetPath(user.name) = %v, %v", v, ok)
+	}
+	if v, ok := outer.GetPath("id"); !ok || v.Int() != 7 {
+		t.Errorf("GetPath(id) = %v, %v", v, ok)
+	}
+	if _, ok := outer.GetPath("user.zip"); ok {
+		t.Error("GetPath(user.zip) should miss")
+	}
+	if _, ok := outer.GetPath("id.x"); ok {
+		t.Error("GetPath through non-record should miss")
+	}
+}
+
+func TestCompareKindOrder(t *testing.T) {
+	rec := EmptyRecord(0)
+	ordered := []Value{
+		Null,
+		NewBool(false),
+		NewBool(true),
+		NewInt(-5),
+		NewDouble(3.14),
+		NewInt(4),
+		NewString("a"),
+		NewList([]Value{NewInt(1)}),
+		NewBag([]Value{NewInt(1)}),
+		NewRecord(rec),
+	}
+	for i := range ordered {
+		for j := range ordered {
+			got := Compare(ordered[i], ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestCompareNumericMixed(t *testing.T) {
+	if Compare(NewInt(1), NewDouble(1.0)) != 0 {
+		t.Error("int 1 should equal double 1.0")
+	}
+	if Compare(NewInt(1), NewDouble(1.5)) != -1 {
+		t.Error("int 1 < double 1.5")
+	}
+	if Compare(NewDouble(math.NaN()), NewDouble(0)) != -1 {
+		t.Error("NaN should order before numbers")
+	}
+	if Compare(NewDouble(math.NaN()), NewDouble(math.NaN())) != 0 {
+		t.Error("NaN should equal NaN in total order")
+	}
+	if Compare(NewDouble(0), NewDouble(math.Copysign(0, -1))) != 0 {
+		t.Error("-0.0 should equal 0.0")
+	}
+}
+
+func TestCompareBagOrderInsensitive(t *testing.T) {
+	a := NewBag([]Value{NewString("x"), NewString("y")})
+	b := NewBag([]Value{NewString("y"), NewString("x")})
+	if Compare(a, b) != 0 {
+		t.Error("bags should compare order-insensitively")
+	}
+	c := NewList([]Value{NewString("x"), NewString("y")})
+	d := NewList([]Value{NewString("y"), NewString("x")})
+	if Compare(c, d) == 0 {
+		t.Error("ordered lists should compare order-sensitively")
+	}
+}
+
+func TestCompareRecordFieldOrderInsensitive(t *testing.T) {
+	a := EmptyRecord(2)
+	a.Set("x", NewInt(1))
+	a.Set("y", NewInt(2))
+	b := EmptyRecord(2)
+	b.Set("y", NewInt(2))
+	b.Set("x", NewInt(1))
+	if Compare(NewRecord(a), NewRecord(b)) != 0 {
+		t.Error("records should compare field-order-insensitively")
+	}
+	if Hash(NewRecord(a)) != Hash(NewRecord(b)) {
+		t.Error("records should hash field-order-insensitively")
+	}
+}
+
+func TestHashConsistentWithEqual(t *testing.T) {
+	pairs := [][2]Value{
+		{NewInt(1), NewDouble(1.0)},
+		{NewBag([]Value{NewInt(1), NewInt(2)}), NewBag([]Value{NewInt(2), NewInt(1)})},
+		{NewString("abc"), NewString("abc")},
+	}
+	for _, p := range pairs {
+		if !Equal(p[0], p[1]) {
+			t.Errorf("expected %v == %v", p[0], p[1])
+		}
+		if Hash(p[0]) != Hash(p[1]) {
+			t.Errorf("Hash(%v) != Hash(%v)", p[0], p[1])
+		}
+	}
+	if Hash(NewString("abc")) == Hash(NewString("abd")) {
+		t.Error("suspicious hash collision for near strings")
+	}
+}
+
+func TestHashSeedIndependence(t *testing.T) {
+	v := NewString("hello world")
+	if HashSeed(1, v) == HashSeed(2, v) {
+		t.Error("different seeds should give different hashes")
+	}
+}
+
+// randomValue builds an arbitrary value of bounded depth for property tests.
+func randomValue(r *rand.Rand, depth int) Value {
+	max := 8
+	if depth <= 0 {
+		max = 5 // scalars only
+	}
+	switch r.Intn(max) {
+	case 0:
+		return Null
+	case 1:
+		return NewBool(r.Intn(2) == 0)
+	case 2:
+		return NewInt(int64(r.Intn(2000) - 1000))
+	case 3:
+		return NewDouble(r.NormFloat64() * 100)
+	case 4:
+		n := r.Intn(12)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + r.Intn(26))
+		}
+		return NewString(string(b))
+	case 5, 6:
+		n := r.Intn(4)
+		elems := make([]Value, n)
+		for i := range elems {
+			elems[i] = randomValue(r, depth-1)
+		}
+		if r.Intn(2) == 0 {
+			return NewList(elems)
+		}
+		return NewBag(elems)
+	default:
+		n := r.Intn(4)
+		rec := EmptyRecord(n)
+		for i := 0; i < n; i++ {
+			rec.Set(string(rune('a'+i)), randomValue(r, depth-1))
+		}
+		return NewRecord(rec)
+	}
+}
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		v := randomValue(r, 3)
+		buf := Encode(v)
+		if len(buf) != EncodedSize(v) {
+			t.Fatalf("EncodedSize(%v) = %d, encoding has %d bytes", v, EncodedSize(v), len(buf))
+		}
+		got, n, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", v, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("Decode consumed %d of %d bytes for %v", n, len(buf), v)
+		}
+		if !Equal(v, got) {
+			t.Fatalf("round trip changed value: %v -> %v", v, got)
+		}
+	}
+}
+
+func TestCompareTotalOrderProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	vals := make([]Value, 60)
+	for i := range vals {
+		vals[i] = randomValue(r, 2)
+	}
+	// Antisymmetry and reflexivity.
+	for _, a := range vals {
+		if Compare(a, a) != 0 {
+			t.Fatalf("Compare(%v, %v) != 0", a, a)
+		}
+		for _, b := range vals {
+			if Compare(a, b) != -Compare(b, a) {
+				t.Fatalf("Compare not antisymmetric for %v, %v", a, b)
+			}
+		}
+	}
+	// Sorting with Less should be stable under permutation (total order).
+	sorted1 := append([]Value(nil), vals...)
+	sort.SliceStable(sorted1, func(i, j int) bool { return Less(sorted1[i], sorted1[j]) })
+	perm := append([]Value(nil), vals...)
+	r.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	sort.SliceStable(perm, func(i, j int) bool { return Less(perm[i], perm[j]) })
+	for i := range sorted1 {
+		if Compare(sorted1[i], perm[i]) != 0 {
+			t.Fatalf("sort order not canonical at %d: %v vs %v", i, sorted1[i], perm[i])
+		}
+	}
+}
+
+func TestHashEqualConsistencyProperty(t *testing.T) {
+	// For random values, Equal implies equal Hash.
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(3))}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomValue(r, 2)
+		b := randomValue(r, 2)
+		if Equal(a, b) && Hash(a) != Hash(b) {
+			return false
+		}
+		// Encoding round trip also preserves hash.
+		got := MustDecode(Encode(a))
+		return Hash(got) == Hash(a)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{byte(KindBool)},
+		{byte(KindDouble), 1, 2},
+		{byte(KindString), 5, 'a'},
+		{byte(KindList), 2, byte(KindInt)},
+		{99},
+	}
+	for _, c := range cases {
+		if _, _, err := Decode(c); err == nil {
+			t.Errorf("Decode(%v) should fail", c)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	rec := EmptyRecord(2)
+	rec.Set("id", NewInt(1))
+	rec.Set("tags", NewBag([]Value{NewString("a")}))
+	got := NewRecord(rec).String()
+	want := `{"id": 1, "tags": {{"a"}}}`
+	if got != want {
+		t.Errorf("String() = %s, want %s", got, want)
+	}
+	if NewDouble(2).String() != "2.0" {
+		t.Errorf("double 2 renders as %s, want 2.0", NewDouble(2).String())
+	}
+}
+
+func TestFromJSON(t *testing.T) {
+	v, err := FromJSON([]byte(`{"id": 3, "name": "bo", "score": 1.5, "tags": ["x", "y"], "ok": true, "none": null}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := v.Rec()
+	if got, _ := rec.Get("id"); got.Int() != 3 {
+		t.Error("id")
+	}
+	if got, _ := rec.Get("score"); got.Double() != 1.5 {
+		t.Error("score")
+	}
+	if got, _ := rec.Get("tags"); len(got.Elems()) != 2 {
+		t.Error("tags")
+	}
+	if got, _ := rec.Get("ok"); !got.Bool() {
+		t.Error("ok")
+	}
+	if got, _ := rec.Get("none"); !got.IsNull() {
+		t.Error("none")
+	}
+	if _, err := FromJSON([]byte(`{bad json`)); err == nil {
+		t.Error("bad json should fail")
+	}
+}
+
+func TestToJSONish(t *testing.T) {
+	rec := EmptyRecord(2)
+	rec.Set("a", NewInt(1))
+	rec.Set("b", NewList([]Value{NewString("x")}))
+	got := ToJSONish(NewRecord(rec))
+	want := map[string]any{"a": int64(1), "b": []any{"x"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ToJSONish = %#v, want %#v", got, want)
+	}
+}

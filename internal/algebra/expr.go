@@ -1,0 +1,228 @@
+// Package algebra is SimDB's logical algebra — the Algebricks layer of
+// the paper's stack. Queries translate into trees of variable-producing
+// operators over scalar expressions; the rule-based optimizer rewrites
+// these trees (including the AQL+ re-translation of similarity joins)
+// and a physical pass annotates them with hyracks operators and
+// connectors.
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"simdb/internal/adm"
+)
+
+// Var identifies a logical variable ($v in plans). Variables are
+// allocated by a VarAlloc and unique within one plan.
+type Var int
+
+// String renders the variable like AQL plans do.
+func (v Var) String() string { return fmt.Sprintf("$%d", int(v)) }
+
+// VarAlloc hands out fresh variables.
+type VarAlloc struct{ next Var }
+
+// New returns a fresh variable.
+func (a *VarAlloc) New() Var {
+	a.next++
+	return a.next
+}
+
+// Expr is a scalar expression tree evaluated per tuple.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// Const is a literal value.
+type Const struct{ Val adm.Value }
+
+// VarRef references a logical variable.
+type VarRef struct{ V Var }
+
+// Call invokes a function from the registry; comparison, boolean and
+// arithmetic operators are calls too ("eq", "and", "add", …), as are
+// field access ("field-access") and constructors ("record", "list").
+type Call struct {
+	Fn   string
+	Args []Expr
+	// Hint carries a compiler hint attached to this expression (the
+	// paper's /*+ bcast */ sits on one side of a join equality).
+	Hint string
+}
+
+// CompClause is one clause of a Comprehension.
+type CompClause struct {
+	Kind string // "for", "let", "where", "order"
+	V    string // bound name for for/let (comprehensions use names, not Vars)
+	PosV string // positional name for "for ... at"
+	E    Expr
+	Desc bool // order direction
+}
+
+// Comprehension is an in-memory FLWOR over list values — the form a
+// correlated subquery or an AQL UDF body takes when it does not scan a
+// dataset. Free variables resolve through the enclosing Env; bound
+// names shadow them.
+type Comprehension struct {
+	Clauses []CompClause
+	Ret     Expr
+}
+
+// NameRef references a comprehension-bound name; it only appears inside
+// Comprehension subtrees.
+type NameRef struct{ Name string }
+
+func (Const) exprNode()         {}
+func (VarRef) exprNode()        {}
+func (Call) exprNode()          {}
+func (Comprehension) exprNode() {}
+func (NameRef) exprNode()       {}
+
+func (e Const) String() string   { return e.Val.String() }
+func (e VarRef) String() string  { return e.V.String() }
+func (e NameRef) String() string { return "%" + e.Name }
+
+func (e Call) String() string {
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	h := ""
+	if e.Hint != "" {
+		h = "/*+ " + e.Hint + " */"
+	}
+	return h + e.Fn + "(" + strings.Join(args, ", ") + ")"
+}
+
+func (e Comprehension) String() string {
+	var b strings.Builder
+	b.WriteString("(")
+	for _, c := range e.Clauses {
+		switch c.Kind {
+		case "for":
+			fmt.Fprintf(&b, "for %%%s in %s ", c.V, c.E)
+		case "let":
+			fmt.Fprintf(&b, "let %%%s := %s ", c.V, c.E)
+		case "where":
+			fmt.Fprintf(&b, "where %s ", c.E)
+		case "order":
+			fmt.Fprintf(&b, "order by %s ", c.E)
+		}
+	}
+	fmt.Fprintf(&b, "return %s)", e.Ret)
+	return b.String()
+}
+
+// C wraps a value as a Const expression.
+func C(v adm.Value) Expr { return Const{Val: v} }
+
+// CInt is a Const int convenience.
+func CInt(i int64) Expr { return Const{Val: adm.NewInt(i)} }
+
+// CStr is a Const string convenience.
+func CStr(s string) Expr { return Const{Val: adm.NewString(s)} }
+
+// V wraps a variable reference.
+func V(v Var) Expr { return VarRef{V: v} }
+
+// F builds a Call.
+func F(fn string, args ...Expr) Expr { return Call{Fn: fn, Args: args} }
+
+// UsedVars appends the variables referenced by e to dst.
+func UsedVars(e Expr, dst []Var) []Var {
+	switch x := e.(type) {
+	case VarRef:
+		return append(dst, x.V)
+	case Call:
+		for _, a := range x.Args {
+			dst = UsedVars(a, dst)
+		}
+	case Comprehension:
+		for _, c := range x.Clauses {
+			if c.E != nil {
+				dst = UsedVars(c.E, dst)
+			}
+		}
+		dst = UsedVars(x.Ret, dst)
+	}
+	return dst
+}
+
+// SubstVars rewrites variable references through the mapping, leaving
+// unmapped variables untouched. Expressions are immutable: a new tree
+// is returned.
+func SubstVars(e Expr, m map[Var]Var) Expr {
+	switch x := e.(type) {
+	case VarRef:
+		if nv, ok := m[x.V]; ok {
+			return VarRef{V: nv}
+		}
+		return x
+	case Call:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = SubstVars(a, m)
+		}
+		return Call{Fn: x.Fn, Args: args, Hint: x.Hint}
+	case Comprehension:
+		cls := make([]CompClause, len(x.Clauses))
+		for i, c := range x.Clauses {
+			nc := c
+			if c.E != nil {
+				nc.E = SubstVars(c.E, m)
+			}
+			cls[i] = nc
+		}
+		return Comprehension{Clauses: cls, Ret: SubstVars(x.Ret, m)}
+	}
+	return e
+}
+
+// ReplaceExpr rewrites e bottom-up through fn.
+func ReplaceExpr(e Expr, fn func(Expr) Expr) Expr {
+	switch x := e.(type) {
+	case Call:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = ReplaceExpr(a, fn)
+		}
+		e = Call{Fn: x.Fn, Args: args, Hint: x.Hint}
+	case Comprehension:
+		cls := make([]CompClause, len(x.Clauses))
+		for i, c := range x.Clauses {
+			nc := c
+			if c.E != nil {
+				nc.E = ReplaceExpr(c.E, fn)
+			}
+			cls[i] = nc
+		}
+		e = Comprehension{Clauses: cls, Ret: ReplaceExpr(x.Ret, fn)}
+	}
+	return fn(e)
+}
+
+// Conjuncts splits a condition into AND-ed conjuncts.
+func Conjuncts(e Expr) []Expr {
+	if c, ok := e.(Call); ok && c.Fn == "and" {
+		var out []Expr
+		for _, a := range c.Args {
+			out = append(out, Conjuncts(a)...)
+		}
+		return out
+	}
+	return []Expr{e}
+}
+
+// AndAll combines conjuncts back into a single condition; an empty
+// slice becomes constant true.
+func AndAll(es []Expr) Expr {
+	switch len(es) {
+	case 0:
+		return C(adm.NewBool(true))
+	case 1:
+		return es[0]
+	}
+	return Call{Fn: "and", Args: es}
+}

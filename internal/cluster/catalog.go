@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"simdb/internal/aqlp"
+	"simdb/internal/optimizer"
+)
+
+// DatasetMeta is the catalog entry of one dataset.
+type DatasetMeta struct {
+	Dataverse string
+	Name      string
+	PKField   string
+	AutoPK    bool
+	Indexes   []optimizer.IndexMeta
+}
+
+// Catalog is the metadata store: dataverses, datasets, secondary
+// indexes, and AQL UDFs. It satisfies both the translator's and the
+// optimizer's catalog interfaces.
+type Catalog struct {
+	mu         sync.RWMutex
+	dataverses map[string]bool
+	datasets   map[string]*DatasetMeta // key: dv + "." + name
+	funcs      map[string]aqlp.FuncDef
+}
+
+// NewCatalog returns a catalog preloaded with the Default dataverse.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		dataverses: map[string]bool{"Default": true},
+		datasets:   map[string]*DatasetMeta{},
+		funcs:      map[string]aqlp.FuncDef{},
+	}
+}
+
+func dsKey(dv, name string) string { return dv + "." + name }
+
+// CreateDataverse registers a dataverse.
+func (c *Catalog) CreateDataverse(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dataverses[name] {
+		return fmt.Errorf("catalog: dataverse %q exists", name)
+	}
+	c.dataverses[name] = true
+	return nil
+}
+
+// HasDataverse reports existence.
+func (c *Catalog) HasDataverse(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.dataverses[name]
+}
+
+// CreateDataset registers a dataset.
+func (c *Catalog) CreateDataset(dv, name, pkField string, autoPK bool) (*DatasetMeta, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.dataverses[dv] {
+		return nil, fmt.Errorf("catalog: unknown dataverse %q", dv)
+	}
+	key := dsKey(dv, name)
+	if _, dup := c.datasets[key]; dup {
+		return nil, fmt.Errorf("catalog: dataset %q exists in %q", name, dv)
+	}
+	meta := &DatasetMeta{Dataverse: dv, Name: name, PKField: pkField, AutoPK: autoPK}
+	c.datasets[key] = meta
+	return meta, nil
+}
+
+// DropDataset removes a dataset entry and returns its metadata.
+func (c *Catalog) DropDataset(dv, name string) (*DatasetMeta, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := dsKey(dv, name)
+	meta, ok := c.datasets[key]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown dataset %q", name)
+	}
+	delete(c.datasets, key)
+	return meta, nil
+}
+
+// Dataset returns a dataset's metadata.
+func (c *Catalog) Dataset(dv, name string) (*DatasetMeta, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m, ok := c.datasets[dsKey(dv, name)]
+	return m, ok
+}
+
+// AddIndex registers a secondary index on a dataset.
+func (c *Catalog) AddIndex(dv, dataset string, ix optimizer.IndexMeta) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	meta, ok := c.datasets[dsKey(dv, dataset)]
+	if !ok {
+		return fmt.Errorf("catalog: unknown dataset %q", dataset)
+	}
+	for _, existing := range meta.Indexes {
+		if existing.Name == ix.Name {
+			return fmt.Errorf("catalog: index %q exists on %q", ix.Name, dataset)
+		}
+	}
+	meta.Indexes = append(meta.Indexes, ix)
+	return nil
+}
+
+// SetFunc stores a UDF definition.
+func (c *Catalog) SetFunc(name string, def aqlp.FuncDef) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.funcs[name] = def
+}
+
+// Funcs returns a copy of the UDF map for a translator.
+func (c *Catalog) Funcs() map[string]aqlp.FuncDef {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]aqlp.FuncDef, len(c.funcs))
+	for k, v := range c.funcs {
+		out[k] = v
+	}
+	return out
+}
+
+// ResolveDataset implements aqlp.Catalog.
+func (c *Catalog) ResolveDataset(dv, name string) (string, bool) {
+	m, ok := c.Dataset(dv, name)
+	if !ok {
+		return "", false
+	}
+	return m.PKField, true
+}
+
+// DatasetIndexes implements optimizer.Catalog.
+func (c *Catalog) DatasetIndexes(dv, name string) []optimizer.IndexMeta {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m, ok := c.datasets[dsKey(dv, name)]
+	if !ok {
+		return nil
+	}
+	return append([]optimizer.IndexMeta(nil), m.Indexes...)
+}

@@ -1,0 +1,298 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"simdb/internal/adm"
+	"simdb/internal/invindex"
+	"simdb/internal/optimizer"
+	"simdb/internal/storage"
+	"simdb/internal/tokenizer"
+)
+
+// Cluster is the simulated deployment: the cluster controller plus its
+// node controllers.
+type Cluster struct {
+	cfg     Config
+	Catalog *Catalog
+	nodes   []*NodeController
+
+	autoPK atomic.Int64
+}
+
+// New creates a cluster with fresh node storage under cfg.DataDir.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.WithDefaults()
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("cluster: DataDir is required")
+	}
+	c := &Cluster{cfg: cfg, Catalog: NewCatalog()}
+	for i := 0; i < cfg.NumNodes; i++ {
+		n, err := newNodeController(i, cfg)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.nodes = append(c.nodes, n)
+	}
+	return c, nil
+}
+
+// Close shuts down every node.
+func (c *Cluster) Close() error {
+	var first error
+	for _, n := range c.nodes {
+		if n == nil {
+			continue
+		}
+		if err := n.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Config returns the effective configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// SetTOccurrenceAlgorithm switches the inverted-index merge algorithm
+// at run time (used by the T-occurrence ablation).
+func (c *Cluster) SetTOccurrenceAlgorithm(a invindex.Algorithm) {
+	c.cfg.TOccurrenceAlgorithm = a
+}
+
+// Nodes returns the node controllers (read-only use).
+func (c *Cluster) Nodes() []*NodeController { return c.nodes }
+
+// nodeOfPartition maps a global partition to its node.
+func (c *Cluster) nodeOfPartition(part int) *NodeController {
+	return c.nodes[part/c.cfg.PartitionsPerNode]
+}
+
+// partitionOfPK hash-partitions a primary key.
+func (c *Cluster) partitionOfPK(pk adm.Value) int {
+	return int(adm.Hash(pk) % uint64(c.cfg.Partitions()))
+}
+
+// Insert adds one record to a dataset, maintaining every secondary
+// index. Records are hash-partitioned on the primary key.
+func (c *Cluster) Insert(dv, ds string, rec adm.Value) error {
+	meta, ok := c.Catalog.Dataset(dv, ds)
+	if !ok {
+		return fmt.Errorf("cluster: unknown dataset %s.%s", dv, ds)
+	}
+	if rec.Kind() != adm.KindRecord {
+		return fmt.Errorf("cluster: inserting non-record value %v", rec.Kind())
+	}
+	pk, okPK := rec.Rec().GetPath(meta.PKField)
+	if !okPK || pk.IsNull() {
+		if !meta.AutoPK {
+			return fmt.Errorf("cluster: record missing primary key field %q", meta.PKField)
+		}
+		pk = adm.NewInt(c.autoPK.Add(1))
+		rec.Rec().Set(meta.PKField, pk)
+	}
+	part := c.partitionOfPK(pk)
+	node := c.nodeOfPartition(part)
+	tree, err := node.primary(dv, ds, part)
+	if err != nil {
+		return err
+	}
+	key := adm.OrderedKey(pk)
+	if err := tree.Put(key, adm.Encode(rec)); err != nil {
+		return err
+	}
+	for _, ix := range meta.Indexes {
+		tokens := IndexTokens(ix, rec)
+		if len(tokens) == 0 {
+			continue
+		}
+		inv, err := node.invIndex(dv, ds, ix.Name, part)
+		if err != nil {
+			return err
+		}
+		if err := inv.Insert(tokens, invindex.PK(key)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IndexTokens extracts the secondary keys of a record for an index:
+// counted word tokens (or list elements) for keyword indexes, counted
+// padded n-grams for n-gram indexes, and the raw encoded value for
+// btree indexes. Counted form ("the#1", "the#2") keeps the
+// T-occurrence bound sound on fields with repeated tokens — multiset
+// similarity over tokens equals set similarity over counted tokens.
+func IndexTokens(ix optimizer.IndexMeta, rec adm.Value) []string {
+	if rec.Kind() != adm.KindRecord {
+		return nil
+	}
+	v, ok := rec.Rec().GetPath(ix.Field)
+	if !ok || v.IsNull() {
+		return nil
+	}
+	switch ix.Type {
+	case "keyword":
+		var toks []string
+		switch v.Kind() {
+		case adm.KindString:
+			toks = tokenizer.WordTokens(v.Str())
+		case adm.KindList, adm.KindBag:
+			for _, e := range v.Elems() {
+				if e.Kind() == adm.KindString {
+					toks = append(toks, e.Str())
+				} else {
+					toks = append(toks, string(adm.Encode(e)))
+				}
+			}
+		default:
+			return nil
+		}
+		return countedStrings(toks)
+	case "ngram":
+		if v.Kind() == adm.KindString {
+			return countedStrings(tokenizer.GramTokens(v.Str(), ix.GramLen, true))
+		}
+	case "btree":
+		return []string{string(adm.OrderedKey(v))}
+	}
+	return nil
+}
+
+// countedStrings renders counted-token form ("tok#1", "tok#2", ...).
+func countedStrings(toks []string) []string {
+	counted := tokenizer.CountTokens(toks)
+	out := make([]string, len(counted))
+	for i, c := range counted {
+		out[i] = fmt.Sprintf("%s#%d", c.Token, c.Count)
+	}
+	return out
+}
+
+// FlushAll forces every open LSM component to disk (used after loads to
+// make Table 5's sizes observable).
+func (c *Cluster) FlushAll() error {
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		for _, t := range n.primaries {
+			if err := t.Flush(); err != nil {
+				n.mu.Unlock()
+				return err
+			}
+		}
+		for _, t := range n.inverted {
+			if err := t.Flush(); err != nil {
+				n.mu.Unlock()
+				return err
+			}
+		}
+		n.mu.Unlock()
+	}
+	return nil
+}
+
+// BuildIndex bulk-builds one secondary index from the dataset's current
+// contents: it scans each partition, tokenizes, sorts the (token, pk)
+// pairs, and bulk-loads them into a single component — the build path
+// Table 5 times.
+func (c *Cluster) BuildIndex(dv, ds string, ix optimizer.IndexMeta) error {
+	meta, ok := c.Catalog.Dataset(dv, ds)
+	if !ok {
+		return fmt.Errorf("cluster: unknown dataset %s.%s", dv, ds)
+	}
+	_ = meta
+	for part := 0; part < c.cfg.Partitions(); part++ {
+		node := c.nodeOfPartition(part)
+		tree, err := node.primary(dv, ds, part)
+		if err != nil {
+			return err
+		}
+		type pair struct {
+			tok string
+			pk  invindex.PK
+		}
+		var pairs []pair
+		err = tree.Scan(nil, nil, func(key, val []byte) bool {
+			rec, _, derr := adm.Decode(val)
+			if derr != nil {
+				err = derr
+				return false
+			}
+			for _, tok := range IndexTokens(ix, rec) {
+				pairs = append(pairs, pair{tok, invindex.PK(key)})
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		sort.Slice(pairs, func(a, b int) bool {
+			if pairs[a].tok != pairs[b].tok {
+				return pairs[a].tok < pairs[b].tok
+			}
+			return pairs[a].pk < pairs[b].pk
+		})
+		inv, err := node.invIndex(dv, ds, ix.Name, part)
+		if err != nil {
+			return err
+		}
+		i := 0
+		err = inv.BulkLoad(func() (string, invindex.PK, bool, error) {
+			if i >= len(pairs) {
+				return "", "", false, nil
+			}
+			p := pairs[i]
+			i++
+			return p.tok, p.pk, true, nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IndexStats aggregates the on-disk footprint of one index (or the
+// primary when ixName is "") across all partitions.
+func (c *Cluster) IndexStats(dv, ds, ixName string) (storage.Stats, error) {
+	var total storage.Stats
+	for part := 0; part < c.cfg.Partitions(); part++ {
+		node := c.nodeOfPartition(part)
+		var s storage.Stats
+		if ixName == "" {
+			t, err := node.primary(dv, ds, part)
+			if err != nil {
+				return total, err
+			}
+			s = t.Stats()
+		} else {
+			t, err := node.invIndex(dv, ds, ixName, part)
+			if err != nil {
+				return total, err
+			}
+			s = t.Stats()
+		}
+		total.MemEntries += s.MemEntries
+		total.MemBytes += s.MemBytes
+		total.DiskComponents += s.DiskComponents
+		total.DiskEntries += s.DiskEntries
+		total.DiskBytes += s.DiskBytes
+	}
+	return total, nil
+}
+
+// DropDataset removes a dataset's storage and catalog entry.
+func (c *Cluster) DropDataset(dv, ds string) error {
+	if _, err := c.Catalog.DropDataset(dv, ds); err != nil {
+		return err
+	}
+	for _, n := range c.nodes {
+		if err := n.dropDataset(dv, ds); err != nil {
+			return err
+		}
+	}
+	return nil
+}

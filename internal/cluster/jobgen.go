@@ -1,0 +1,382 @@
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"simdb/internal/adm"
+	"simdb/internal/algebra"
+	"simdb/internal/hyracks"
+)
+
+// QueryCounters collects similarity-specific work metrics during one
+// query (candidate counts feed Table 6).
+type QueryCounters struct {
+	IndexSearches   atomic.Int64
+	CandidatesTotal atomic.Int64
+	PostingsRead    atomic.Int64
+}
+
+// jobGen compiles an optimized algebra plan into a hyracks job.
+type jobGen struct {
+	c        *Cluster
+	job      *hyracks.Job
+	parts    int
+	memo     map[*algebra.Op]*genOut
+	parents  map[*algebra.Op]int
+	portUsed map[*algebra.Op]int
+	counters *QueryCounters
+}
+
+// genOut is the generated form of one algebra operator.
+type genOut struct {
+	node   *hyracks.OpNode
+	port   int // output port to read (replicated shared nodes use >0)
+	schema []algebra.Var
+	parts  int
+	// sortCols is non-nil when the output is per-partition sorted; it
+	// lets parents use order-preserving merge connectors.
+	sortCols []hyracks.SortCol
+	// rep is the Replicate node inserted for shared algebra nodes.
+	rep *hyracks.OpNode
+}
+
+// colMap maps schema variables to column positions.
+func colMap(schema []algebra.Var) map[algebra.Var]int {
+	m := make(map[algebra.Var]int, len(schema))
+	for i, v := range schema {
+		m[v] = i
+	}
+	return m
+}
+
+// GenerateJob compiles the plan (rooted at OpWrite) and returns the
+// job plus the result collector.
+func (c *Cluster) GenerateJob(root *algebra.Op, counters *QueryCounters) (*hyracks.Job, *hyracks.Collector, error) {
+	if root.Kind != algebra.OpWrite {
+		return nil, nil, fmt.Errorf("jobgen: plan root is %v, want distribute-result", root.Kind)
+	}
+	if counters == nil {
+		counters = &QueryCounters{}
+	}
+	g := &jobGen{
+		c:        c,
+		job:      &hyracks.Job{},
+		parts:    c.cfg.Partitions(),
+		memo:     map[*algebra.Op]*genOut{},
+		parents:  map[*algebra.Op]int{},
+		portUsed: map[*algebra.Op]int{},
+		counters: counters,
+	}
+	algebra.Walk(root, func(op *algebra.Op) {
+		for _, in := range op.Inputs {
+			g.parents[in]++
+		}
+	})
+	child, err := g.gen(root.Inputs[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	cols := colMap(child.schema)
+	col, ok := cols[root.Var]
+	if !ok {
+		return nil, nil, fmt.Errorf("jobgen: result variable %v not in schema %v", root.Var, child.schema)
+	}
+	// Project to the result column; keep any sort columns so a MergeOne
+	// sink can preserve a top-level order-by.
+	keep := []int{col}
+	var sinkSort []hyracks.SortCol
+	for _, sc := range child.sortCols {
+		sinkSort = append(sinkSort, hyracks.SortCol{Col: len(keep), Desc: sc.Desc})
+		keep = append(keep, sc.Col)
+	}
+	proj := g.job.Add("ResultProject", child.parts, hyracks.FlatMap(
+		func(ctx *hyracks.TaskCtx, t hyracks.Tuple, emit func(hyracks.Tuple)) error {
+			nt := make(hyracks.Tuple, len(keep))
+			for i, c := range keep {
+				nt[i] = t[c]
+			}
+			emit(nt)
+			return nil
+		}), g.inputFrom(child, hyracks.ConnectorSpec{Type: hyracks.OneToOne}))
+	collector := &hyracks.Collector{}
+	conn := hyracks.ConnectorSpec{Type: hyracks.GatherOne}
+	if sinkSort != nil {
+		conn = hyracks.ConnectorSpec{Type: hyracks.MergeOne, SortCols: sinkSort}
+	}
+	hyracks.MakeSink(g.job, "DistributeResult", collector,
+		hyracks.Input{From: proj, Conn: conn})
+	return g.job, collector, nil
+}
+
+// inputFrom builds the Input edge from a generated child.
+func (g *jobGen) inputFrom(child *genOut, conn hyracks.ConnectorSpec) hyracks.Input {
+	return hyracks.Input{From: child.node, FromPort: child.port, Conn: conn}
+}
+
+// gen compiles one algebra node (memoized; shared nodes get a
+// materializing Replicate so each parent reads a private port).
+func (g *jobGen) gen(op *algebra.Op) (*genOut, error) {
+	if out, ok := g.memo[op]; ok {
+		// Shared node: route this parent through the replicate port.
+		return g.sharedPort(op, out)
+	}
+	out, err := g.genFresh(op)
+	if err != nil {
+		return nil, err
+	}
+	g.memo[op] = out
+	if g.parents[op] > 1 {
+		// First parent also reads through the replicate.
+		return g.sharedPort(op, out)
+	}
+	return out, nil
+}
+
+// sharedPort wraps a shared node with a materializing Replicate (once)
+// and returns a view bound to the next free output port — the runtime
+// form of the paper's Figure 20 materialize/reuse.
+func (g *jobGen) sharedPort(op *algebra.Op, out *genOut) (*genOut, error) {
+	if out.rep == nil {
+		rep := g.job.Add("Replicate", out.parts, hyracks.Replicate(g.parents[op]),
+			hyracks.Input{From: out.node, FromPort: out.port, Conn: hyracks.ConnectorSpec{Type: hyracks.OneToOne}})
+		rep.OutPorts = g.parents[op]
+		out.rep = rep
+	}
+	port := g.portUsed[op]
+	g.portUsed[op]++
+	if port >= out.rep.OutPorts {
+		return nil, fmt.Errorf("jobgen: too many readers of shared %v", op.Kind)
+	}
+	return &genOut{node: out.rep, port: port, schema: out.schema, parts: out.parts, sortCols: out.sortCols}, nil
+}
+
+// genFresh compiles a node that has not been seen yet.
+func (g *jobGen) genFresh(op *algebra.Op) (*genOut, error) {
+	switch op.Kind {
+	case algebra.OpEmpty:
+		node := g.job.Add("EmptyTupleSource", 1, hyracks.SourceFunc(
+			func(ctx *hyracks.TaskCtx, emit func(hyracks.Tuple)) error {
+				emit(hyracks.Tuple{})
+				return nil
+			}))
+		return &genOut{node: node, parts: 1}, nil
+	case algebra.OpScan:
+		return g.genScan(op)
+	case algebra.OpSelect:
+		return g.genSelect(op)
+	case algebra.OpAssign:
+		return g.genAssign(op)
+	case algebra.OpProject:
+		return g.genProject(op)
+	case algebra.OpUnnest:
+		return g.genUnnest(op)
+	case algebra.OpOrder:
+		return g.genOrder(op)
+	case algebra.OpRank:
+		return g.genRank(op)
+	case algebra.OpLimit:
+		return g.genLimit(op)
+	case algebra.OpMaterialize:
+		return g.genMaterialize(op)
+	case algebra.OpAggregate:
+		return g.genAggregate(op)
+	case algebra.OpGroupBy:
+		return g.genGroupBy(op)
+	case algebra.OpJoin:
+		return g.genJoin(op)
+	case algebra.OpUnion:
+		return g.genUnion(op)
+	case algebra.OpSecondarySearch:
+		return g.genSecondarySearch(op)
+	case algebra.OpPrimaryLookup:
+		return g.genPrimaryLookup(op)
+	}
+	return nil, fmt.Errorf("jobgen: unsupported operator %v", op.Kind)
+}
+
+func (g *jobGen) genScan(op *algebra.Op) (*genOut, error) {
+	dv, ds := op.Dataverse, op.Dataset
+	meta, ok := g.c.Catalog.Dataset(dv, ds)
+	if !ok {
+		return nil, fmt.Errorf("jobgen: unknown dataset %s.%s", dv, ds)
+	}
+	pkField := meta.PKField
+	c := g.c
+	node := g.job.Add("DataScan("+ds+")", g.parts, hyracks.SourceFunc(
+		func(ctx *hyracks.TaskCtx, emit func(hyracks.Tuple)) error {
+			return c.scanPartition(dv, ds, pkField, ctx.Part, emit)
+		}))
+	return &genOut{node: node, schema: []algebra.Var{op.PKVar, op.RecVar}, parts: g.parts}, nil
+}
+
+func (g *jobGen) genSelect(op *algebra.Op) (*genOut, error) {
+	in, err := g.gen(op.Inputs[0])
+	if err != nil {
+		return nil, err
+	}
+	cols := colMap(in.schema)
+	cond := op.Cond
+	node := g.job.Add("Select", in.parts, hyracks.FlatMap(
+		func(ctx *hyracks.TaskCtx, t hyracks.Tuple, emit func(hyracks.Tuple)) error {
+			v, err := algebra.Eval(cond, algebra.NewEnv(cols, t))
+			if err != nil {
+				return err
+			}
+			if algebra.Truthy(v) {
+				emit(t)
+			}
+			return nil
+		}), g.inputFrom(in, hyracks.ConnectorSpec{Type: hyracks.OneToOne}))
+	return &genOut{node: node, schema: in.schema, parts: in.parts, sortCols: in.sortCols}, nil
+}
+
+func (g *jobGen) genAssign(op *algebra.Op) (*genOut, error) {
+	in, err := g.gen(op.Inputs[0])
+	if err != nil {
+		return nil, err
+	}
+	cols := colMap(in.schema)
+	exprs := op.AssignExprs
+	node := g.job.Add("Assign", in.parts, hyracks.FlatMap(
+		func(ctx *hyracks.TaskCtx, t hyracks.Tuple, emit func(hyracks.Tuple)) error {
+			nt := make(hyracks.Tuple, len(t), len(t)+len(exprs))
+			copy(nt, t)
+			env := algebra.NewEnv(cols, t)
+			for _, e := range exprs {
+				v, err := algebra.Eval(e, env)
+				if err != nil {
+					return err
+				}
+				nt = append(nt, v)
+			}
+			emit(nt)
+			return nil
+		}), g.inputFrom(in, hyracks.ConnectorSpec{Type: hyracks.OneToOne}))
+	schema := append(append([]algebra.Var(nil), in.schema...), op.AssignVars...)
+	return &genOut{node: node, schema: schema, parts: in.parts, sortCols: in.sortCols}, nil
+}
+
+func (g *jobGen) genProject(op *algebra.Op) (*genOut, error) {
+	in, err := g.gen(op.Inputs[0])
+	if err != nil {
+		return nil, err
+	}
+	cols := colMap(in.schema)
+	idx := make([]int, len(op.Vars))
+	for i, v := range op.Vars {
+		c, ok := cols[v]
+		if !ok {
+			return nil, fmt.Errorf("jobgen: project var %v missing from schema", v)
+		}
+		idx[i] = c
+	}
+	node := g.job.Add("Project", in.parts, hyracks.FlatMap(
+		func(ctx *hyracks.TaskCtx, t hyracks.Tuple, emit func(hyracks.Tuple)) error {
+			nt := make(hyracks.Tuple, len(idx))
+			for i, c := range idx {
+				nt[i] = t[c]
+			}
+			emit(nt)
+			return nil
+		}), g.inputFrom(in, hyracks.ConnectorSpec{Type: hyracks.OneToOne}))
+	return &genOut{node: node, schema: append([]algebra.Var(nil), op.Vars...), parts: in.parts}, nil
+}
+
+func (g *jobGen) genUnnest(op *algebra.Op) (*genOut, error) {
+	in, err := g.gen(op.Inputs[0])
+	if err != nil {
+		return nil, err
+	}
+	cols := colMap(in.schema)
+	expr := op.Expr
+	withPos := op.PosVar != 0
+	node := g.job.Add("Unnest", in.parts, hyracks.FlatMap(
+		func(ctx *hyracks.TaskCtx, t hyracks.Tuple, emit func(hyracks.Tuple)) error {
+			v, err := algebra.Eval(expr, algebra.NewEnv(cols, t))
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				return nil
+			}
+			if v.Kind() != adm.KindList && v.Kind() != adm.KindBag {
+				return fmt.Errorf("unnest over %v value", v.Kind())
+			}
+			for i, e := range v.Elems() {
+				nt := make(hyracks.Tuple, len(t), len(t)+2)
+				copy(nt, t)
+				nt = append(nt, e)
+				if withPos {
+					nt = append(nt, adm.NewInt(int64(i+1)))
+				}
+				emit(nt)
+			}
+			return nil
+		}), g.inputFrom(in, hyracks.ConnectorSpec{Type: hyracks.OneToOne}))
+	schema := append(append([]algebra.Var(nil), in.schema...), op.UnnestVar)
+	if withPos {
+		schema = append(schema, op.PosVar)
+	}
+	return &genOut{node: node, schema: schema, parts: in.parts}, nil
+}
+
+func (g *jobGen) genOrder(op *algebra.Op) (*genOut, error) {
+	in, err := g.gen(op.Inputs[0])
+	if err != nil {
+		return nil, err
+	}
+	cols := colMap(in.schema)
+	sortCols := make([]hyracks.SortCol, len(op.Orders))
+	for i, o := range op.Orders {
+		vr, ok := o.E.(algebra.VarRef)
+		if !ok {
+			return nil, fmt.Errorf("jobgen: order key not normalized: %s", o.E)
+		}
+		c, ok := cols[vr.V]
+		if !ok {
+			return nil, fmt.Errorf("jobgen: order var %v missing", vr.V)
+		}
+		sortCols[i] = hyracks.SortCol{Col: c, Desc: o.Desc}
+	}
+	node := g.job.Add("Sort", in.parts, hyracks.Sort(sortCols),
+		g.inputFrom(in, hyracks.ConnectorSpec{Type: hyracks.OneToOne}))
+	return &genOut{node: node, schema: in.schema, parts: in.parts, sortCols: sortCols}, nil
+}
+
+func (g *jobGen) genRank(op *algebra.Op) (*genOut, error) {
+	in, err := g.gen(op.Inputs[0])
+	if err != nil {
+		return nil, err
+	}
+	conn := hyracks.ConnectorSpec{Type: hyracks.GatherOne}
+	if in.sortCols != nil {
+		conn = hyracks.ConnectorSpec{Type: hyracks.MergeOne, SortCols: in.sortCols}
+	}
+	node := g.job.Add("Rank", 1, hyracks.Rank(), g.inputFrom(in, conn))
+	schema := append(append([]algebra.Var(nil), in.schema...), op.PosVar)
+	return &genOut{node: node, schema: schema, parts: 1, sortCols: in.sortCols}, nil
+}
+
+func (g *jobGen) genLimit(op *algebra.Op) (*genOut, error) {
+	in, err := g.gen(op.Inputs[0])
+	if err != nil {
+		return nil, err
+	}
+	conn := hyracks.ConnectorSpec{Type: hyracks.GatherOne}
+	if in.sortCols != nil {
+		conn = hyracks.ConnectorSpec{Type: hyracks.MergeOne, SortCols: in.sortCols}
+	}
+	node := g.job.Add("Limit", 1, hyracks.Limit(op.Count), g.inputFrom(in, conn))
+	return &genOut{node: node, schema: in.schema, parts: 1, sortCols: in.sortCols}, nil
+}
+
+func (g *jobGen) genMaterialize(op *algebra.Op) (*genOut, error) {
+	in, err := g.gen(op.Inputs[0])
+	if err != nil {
+		return nil, err
+	}
+	node := g.job.Add("Materialize", in.parts, hyracks.Materialize(),
+		g.inputFrom(in, hyracks.ConnectorSpec{Type: hyracks.OneToOne}))
+	return &genOut{node: node, schema: in.schema, parts: in.parts, sortCols: in.sortCols}, nil
+}

@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"simdb/internal/invindex"
+	"simdb/internal/storage"
+)
+
+// NodeController owns one simulated node's local state: a directory on
+// disk, a buffer cache, and the local partitions of every dataset's
+// primary LSM B+-tree and secondary inverted indexes (co-partitioned
+// with the primary, as in the paper).
+type NodeController struct {
+	ID    int
+	dir   string
+	cache *storage.BufferCache
+
+	mu        sync.Mutex
+	primaries map[string]*storage.LSMTree // key: dv.ds/p<part>
+	inverted  map[string]*invindex.Index  // key: dv.ds.ix/p<part>
+	cfg       Config
+}
+
+func newNodeController(id int, cfg Config) (*NodeController, error) {
+	dir := filepath.Join(cfg.DataDir, fmt.Sprintf("node%d", id))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: node %d storage: %w", id, err)
+	}
+	return &NodeController{
+		ID:        id,
+		dir:       dir,
+		cache:     storage.NewBufferCache(int(cfg.DiskBufferCacheBytes), cfg.PageSize),
+		primaries: map[string]*storage.LSMTree{},
+		inverted:  map[string]*invindex.Index{},
+		cfg:       cfg,
+	}, nil
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-', r == '.':
+			return r
+		}
+		return '_'
+	}, s)
+}
+
+func (n *NodeController) lsmOptions() storage.LSMOptions {
+	return storage.LSMOptions{
+		PageSize:       n.cfg.PageSize,
+		MemBudgetBytes: n.cfg.MemComponentBudgetBytes,
+		Cache:          n.cache,
+	}
+}
+
+// primary opens (or creates) the local partition of a dataset's primary
+// index.
+func (n *NodeController) primary(dv, ds string, part int) (*storage.LSMTree, error) {
+	key := fmt.Sprintf("%s.%s/p%d", dv, ds, part)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if t, ok := n.primaries[key]; ok {
+		return t, nil
+	}
+	dir := filepath.Join(n.dir, sanitize(dv), sanitize(ds), fmt.Sprintf("p%d", part))
+	t, err := storage.OpenLSM(dir, n.lsmOptions())
+	if err != nil {
+		return nil, err
+	}
+	n.primaries[key] = t
+	return t, nil
+}
+
+// invIndex opens (or creates) the local partition of a secondary
+// inverted index.
+func (n *NodeController) invIndex(dv, ds, ix string, part int) (*invindex.Index, error) {
+	key := fmt.Sprintf("%s.%s.%s/p%d", dv, ds, ix, part)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if t, ok := n.inverted[key]; ok {
+		return t, nil
+	}
+	dir := filepath.Join(n.dir, sanitize(dv), sanitize(ds), "idx_"+sanitize(ix), fmt.Sprintf("p%d", part))
+	t, err := invindex.Open(dir, n.lsmOptions())
+	if err != nil {
+		return nil, err
+	}
+	n.inverted[key] = t
+	return t, nil
+}
+
+// dropDataset closes and removes all local partitions of a dataset.
+func (n *NodeController) dropDataset(dv, ds string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	prefix := fmt.Sprintf("%s.%s", dv, ds)
+	for key, t := range n.primaries {
+		if strings.HasPrefix(key, prefix+"/") {
+			t.Close()
+			delete(n.primaries, key)
+		}
+	}
+	for key, t := range n.inverted {
+		if strings.HasPrefix(key, prefix+".") {
+			t.Close()
+			delete(n.inverted, key)
+		}
+	}
+	return os.RemoveAll(filepath.Join(n.dir, sanitize(dv), sanitize(ds)))
+}
+
+// close shuts down every open tree.
+func (n *NodeController) close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var first error
+	for _, t := range n.primaries {
+		if err := t.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, t := range n.inverted {
+		if err := t.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	n.primaries = map[string]*storage.LSMTree{}
+	n.inverted = map[string]*invindex.Index{}
+	return first
+}
+
+// CacheStats exposes the node's buffer-cache counters.
+func (n *NodeController) CacheStats() storage.CacheStats { return n.cache.Stats() }

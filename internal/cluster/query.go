@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"simdb/internal/adm"
+	"simdb/internal/algebra"
+	"simdb/internal/aqlp"
+	"simdb/internal/hyracks"
+	"simdb/internal/optimizer"
+)
+
+// QueryStats reports one query's execution profile.
+type QueryStats struct {
+	ParseNs     int64
+	TranslateNs int64
+	OptimizeNs  int64
+	JobGenNs    int64
+	ExecNs      int64 // real wall time of the parallel job
+
+	// EstimatedParallel is the cost model's makespan estimate for the
+	// configured node count (see Config.CostModel) — the number the
+	// scale-out/speed-up experiments report.
+	EstimatedParallel time.Duration
+
+	MaxNodeBusyNs int64
+	TotalBusyNs   int64
+	MaxNodeTuples int64
+	BytesShuffled int64
+	NetMessages   int64
+
+	IndexSearches   int64
+	CandidatesTotal int64
+	PostingsRead    int64
+
+	PlanOps     int
+	LogicalPlan string
+	PhysicalOps []hyracks.OpStats
+	RuleTrace   []string
+}
+
+// Result is a query's outcome.
+type Result struct {
+	Rows  []adm.Value
+	Stats QueryStats
+}
+
+// Session carries statement-scoped state (use/set) across Execute calls.
+type Session struct {
+	Dataverse    string
+	SimFunction  string
+	SimThreshold string
+	// Opts overrides the optimizer options; nil means defaults.
+	Opts *optimizer.Options
+}
+
+// NewSession returns a session with the Default dataverse.
+func NewSession() *Session { return &Session{Dataverse: "Default"} }
+
+// Execute runs a full AQL request — statements then an optional query —
+// and returns the query result (nil Rows for statement-only requests).
+func (c *Cluster) Execute(ctx context.Context, sess *Session, src string) (*Result, error) {
+	if sess == nil {
+		sess = NewSession()
+	}
+	t0 := time.Now()
+	q, err := aqlp.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	parseNs := time.Since(t0).Nanoseconds()
+
+	for _, stmt := range q.Stmts {
+		if err := c.executeStmt(sess, stmt); err != nil {
+			return nil, err
+		}
+	}
+	if q.Body == nil {
+		return &Result{Stats: QueryStats{ParseNs: parseNs}}, nil
+	}
+	return c.runQuery(ctx, sess, q.Body, parseNs)
+}
+
+func (c *Cluster) executeStmt(sess *Session, stmt aqlp.Stmt) error {
+	switch s := stmt.(type) {
+	case aqlp.UseStmt:
+		if !c.Catalog.HasDataverse(s.Dataverse) {
+			return fmt.Errorf("cluster: unknown dataverse %q", s.Dataverse)
+		}
+		sess.Dataverse = s.Dataverse
+		return nil
+	case aqlp.SetStmt:
+		switch s.Key {
+		case "simfunction":
+			sess.SimFunction = s.Val
+		case "simthreshold":
+			sess.SimThreshold = s.Val
+		default:
+			return fmt.Errorf("cluster: unknown set property %q", s.Key)
+		}
+		return nil
+	case aqlp.CreateDataverseStmt:
+		return c.Catalog.CreateDataverse(s.Name)
+	case aqlp.CreateDatasetStmt:
+		_, err := c.Catalog.CreateDataset(sess.Dataverse, s.Name, s.PKField, s.AutoPK)
+		return err
+	case aqlp.CreateIndexStmt:
+		ix := optimizer.IndexMeta{Name: s.Name, Field: s.Field, Type: s.IType, GramLen: s.GramLen}
+		if s.IType != "btree" && s.IType != "keyword" && s.IType != "ngram" {
+			return fmt.Errorf("cluster: unknown index type %q", s.IType)
+		}
+		if s.IType == "ngram" && s.GramLen < 1 {
+			return fmt.Errorf("cluster: ngram index needs a gram length")
+		}
+		if err := c.Catalog.AddIndex(sess.Dataverse, s.Dataset, ix); err != nil {
+			return err
+		}
+		// Build from existing data (bulk path).
+		return c.BuildIndex(sess.Dataverse, s.Dataset, ix)
+	case aqlp.CreateFunctionStmt:
+		c.Catalog.SetFunc(s.Name, aqlp.FuncDef{Params: s.Params, Body: s.Body})
+		return nil
+	case aqlp.DropDatasetStmt:
+		return c.DropDataset(sess.Dataverse, s.Name)
+	}
+	return fmt.Errorf("cluster: unsupported statement %T", stmt)
+}
+
+// Compile parses, translates, and optimizes a query without running it;
+// used by plan-inspection tooling and the Figure 15 experiment.
+func (c *Cluster) Compile(sess *Session, body aqlp.Node) (*algebra.Op, *QueryStats, error) {
+	if sess == nil {
+		sess = NewSession()
+	}
+	stats := &QueryStats{}
+	alloc := &algebra.VarAlloc{}
+	tr := &aqlp.Translator{
+		Catalog:          c.Catalog,
+		Alloc:            alloc,
+		DefaultDataverse: sess.Dataverse,
+		SimFunction:      sess.SimFunction,
+		SimThreshold:     sess.SimThreshold,
+		Funcs:            c.Catalog.Funcs(),
+	}
+	t0 := time.Now()
+	plan, err := tr.TranslateQuery(body)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.TranslateNs = time.Since(t0).Nanoseconds()
+
+	opts := optimizer.DefaultOptions()
+	if sess.Opts != nil {
+		opts = *sess.Opts
+	}
+	o := &optimizer.Optimizer{Catalog: c.Catalog, Alloc: alloc, Opts: opts, Trace: &stats.RuleTrace}
+	t0 = time.Now()
+	plan, err = o.Optimize(plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.OptimizeNs = time.Since(t0).Nanoseconds()
+	stats.PlanOps = algebra.CountOps(plan)
+	stats.LogicalPlan = algebra.Print(plan)
+	return plan, stats, nil
+}
+
+func (c *Cluster) runQuery(ctx context.Context, sess *Session, body aqlp.Node, parseNs int64) (*Result, error) {
+	plan, stats, err := c.Compile(sess, body)
+	if err != nil {
+		return nil, err
+	}
+	stats.ParseNs = parseNs
+
+	counters := &QueryCounters{}
+	t0 := time.Now()
+	job, collector, err := c.GenerateJob(plan, counters)
+	if err != nil {
+		return nil, fmt.Errorf("%w\nplan:\n%s", err, stats.LogicalPlan)
+	}
+	stats.JobGenNs = time.Since(t0).Nanoseconds()
+
+	topo := hyracks.Topology{Partitions: c.cfg.Partitions(), PartsPerNode: c.cfg.PartitionsPerNode}
+	jstats, err := hyracks.Run(ctx, job, topo)
+	if err != nil {
+		return nil, err
+	}
+	stats.ExecNs = jstats.WallNs
+	stats.MaxNodeBusyNs = jstats.MaxNodeBusyNs()
+	stats.TotalBusyNs = jstats.TotalBusyNs()
+	stats.MaxNodeTuples = jstats.MaxNodeTuples()
+	stats.BytesShuffled = jstats.BytesShuffled
+	stats.NetMessages = jstats.NetMessages
+	stats.PhysicalOps = jstats.Ops
+	stats.IndexSearches = counters.IndexSearches.Load()
+	stats.CandidatesTotal = counters.CandidatesTotal.Load()
+	stats.PostingsRead = counters.PostingsRead.Load()
+
+	model := CostModel{NetBandwidthMBps: c.cfg.NetBandwidthMBps, NetLatencyUs: c.cfg.NetLatencyUs, Nodes: c.cfg.NumNodes}
+	stats.EstimatedParallel = model.EstimateParallel(stats.MaxNodeTuples, stats.BytesShuffled, stats.NetMessages)
+
+	rows := make([]adm.Value, len(collector.Tuples))
+	for i, t := range collector.Tuples {
+		rows[i] = t[0]
+	}
+	return &Result{Rows: rows, Stats: *stats}, nil
+}

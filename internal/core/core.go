@@ -1,0 +1,267 @@
+// Package core is SimDB's public embedding API: open a database, run
+// AQL (including DDL, similarity queries, and AQL+ machinery under the
+// hood), inspect plans and statistics, and load data. It wraps the
+// simulated cluster with a stable, documented surface that the
+// examples, CLI, and benchmark harness all use.
+//
+// Quick start:
+//
+//	db, err := core.Open(core.Config{DataDir: dir})
+//	defer db.Close()
+//	db.MustExecute(`create dataset Reviews primary key id;`)
+//	db.InsertJSON("Reviews", `{"id": 1, "summary": "great product"}`)
+//	res, err := db.Query(`
+//	    for $r in dataset Reviews
+//	    where similarity-jaccard(word-tokens($r.summary),
+//	                             word-tokens('great products')) >= 0.5
+//	    return $r.id`)
+package core
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"simdb/internal/adm"
+	"simdb/internal/algebra"
+	"simdb/internal/aqlp"
+	"simdb/internal/cluster"
+	"simdb/internal/invindex"
+	"simdb/internal/optimizer"
+)
+
+// Config configures a Database; zero values take sensible defaults
+// (2 nodes × 2 partitions, 32 KiB pages, ScanCount merging).
+type Config struct {
+	// DataDir holds all node storage. Required.
+	DataDir string
+	// NumNodes is the simulated node count.
+	NumNodes int
+	// PartitionsPerNode is the data parallelism per node.
+	PartitionsPerNode int
+	// PageSize is the storage page size in bytes.
+	PageSize int
+	// DiskBufferCacheBytes is the per-node buffer cache size.
+	DiskBufferCacheBytes int64
+	// MemComponentBudgetBytes is the per-partition LSM memtable budget.
+	MemComponentBudgetBytes int64
+	// TOccurrence selects the inverted-index merge algorithm:
+	// "scancount" (default), "mergeskip", or "divideskip".
+	TOccurrence string
+}
+
+// Database is an open SimDB instance.
+type Database struct {
+	c *cluster.Cluster
+}
+
+// Result is a query result: one ADM value per row plus the execution
+// profile (plan, per-stage timings, network bytes, index candidates,
+// and the cost model's parallel-makespan estimate).
+type Result struct {
+	Rows  []adm.Value
+	Stats cluster.QueryStats
+}
+
+// Session carries use/set state and optimizer option overrides across
+// statements, like one AsterixDB client connection.
+type Session = cluster.Session
+
+// OptimizerOptions re-exports the ablation knobs.
+type OptimizerOptions = optimizer.Options
+
+// Open creates (or reopens) a database under cfg.DataDir.
+func Open(cfg Config) (*Database, error) {
+	algo := invindex.ScanCount
+	switch cfg.TOccurrence {
+	case "", "scancount":
+	case "mergeskip":
+		algo = invindex.MergeSkip
+	case "divideskip":
+		algo = invindex.DivideSkip
+	default:
+		return nil, fmt.Errorf("core: unknown TOccurrence %q", cfg.TOccurrence)
+	}
+	c, err := cluster.New(cluster.Config{
+		NumNodes:                cfg.NumNodes,
+		PartitionsPerNode:       cfg.PartitionsPerNode,
+		DataDir:                 cfg.DataDir,
+		PageSize:                cfg.PageSize,
+		DiskBufferCacheBytes:    cfg.DiskBufferCacheBytes,
+		MemComponentBudgetBytes: cfg.MemComponentBudgetBytes,
+		TOccurrenceAlgorithm:    algo,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Database{c: c}, nil
+}
+
+// Close shuts the database down, flushing in-memory components.
+func (db *Database) Close() error { return db.c.Close() }
+
+// Cluster exposes the underlying simulated cluster for advanced use
+// (index statistics, per-node cache counters, direct job generation).
+func (db *Database) Cluster() *cluster.Cluster { return db.c }
+
+// NewSession returns a fresh session bound to the Default dataverse.
+func (db *Database) NewSession() *Session { return cluster.NewSession() }
+
+// Execute runs an AQL request in a session (nil for a throwaway one)
+// and returns its result. DDL-only requests return empty Rows.
+func (db *Database) Execute(ctx context.Context, sess *Session, aql string) (*Result, error) {
+	res, err := db.c.Execute(ctx, sess, aql)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Rows: res.Rows, Stats: res.Stats}, nil
+}
+
+// Query runs AQL with a default session and background context.
+func (db *Database) Query(aql string) (*Result, error) {
+	return db.Execute(context.Background(), nil, aql)
+}
+
+// MustExecute runs AQL and panics on error; for setup code in examples
+// and tests.
+func (db *Database) MustExecute(aql string) *Result {
+	res, err := db.Query(aql)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// Insert adds one record to a dataset in the Default dataverse.
+func (db *Database) Insert(dataset string, rec adm.Value) error {
+	return db.c.Insert("Default", dataset, rec)
+}
+
+// InsertJSON parses a JSON object and inserts it.
+func (db *Database) InsertJSON(dataset, jsonDoc string) error {
+	v, err := adm.FromJSON([]byte(jsonDoc))
+	if err != nil {
+		return err
+	}
+	return db.Insert(dataset, v)
+}
+
+// LoadJSONLines bulk-imports a newline-delimited JSON file into a
+// dataset, flushing at the end. It returns the record count.
+func (db *Database) LoadJSONLines(dataset, path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	n := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		v, err := adm.FromJSON(line)
+		if err != nil {
+			return n, fmt.Errorf("core: line %d: %w", n+1, err)
+		}
+		if err := db.Insert(dataset, v); err != nil {
+			return n, err
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	return n, db.c.FlushAll()
+}
+
+// Flush forces all in-memory LSM components to disk.
+func (db *Database) Flush() error { return db.c.FlushAll() }
+
+// IndexFootprint reports an index's total on-disk bytes and entry count
+// (pass "" for the dataset's primary index). Table 5 uses this.
+func (db *Database) IndexFootprint(dataset, index string) (bytes, entries int64, err error) {
+	s, err := db.c.IndexStats("Default", dataset, index)
+	if err != nil {
+		return 0, 0, err
+	}
+	return s.DiskBytes, s.DiskEntries, nil
+}
+
+// EstimateParallel re-exposes the cost model for external callers.
+func (db *Database) EstimateParallel(stats cluster.QueryStats) time.Duration {
+	return stats.EstimatedParallel
+}
+
+// SetTOccurrence switches the inverted-index merge algorithm at run
+// time ("scancount", "mergeskip", "divideskip").
+func (db *Database) SetTOccurrence(name string) error {
+	switch name {
+	case "scancount":
+		db.c.SetTOccurrenceAlgorithm(invindex.ScanCount)
+	case "mergeskip":
+		db.c.SetTOccurrenceAlgorithm(invindex.MergeSkip)
+	case "divideskip":
+		db.c.SetTOccurrenceAlgorithm(invindex.DivideSkip)
+	default:
+		return fmt.Errorf("core: unknown algorithm %q", name)
+	}
+	return nil
+}
+
+// Explained describes a compiled (not executed) query plan.
+type Explained struct {
+	PlanOps     int
+	Plan        string
+	KindCounts  map[string]int
+	TranslateNs int64
+	OptimizeNs  int64
+}
+
+// Explain compiles a query and reports its optimized plan: the
+// operator total and per-kind counts reproduce the paper's Figure 15,
+// and the timing split its §6.4.1 compile-overhead discussion.
+func (db *Database) Explain(sess *Session, aql string) (*Explained, error) {
+	if sess == nil {
+		sess = cluster.NewSession()
+	}
+	q, err := aqlp.Parse(aql)
+	if err != nil {
+		return nil, err
+	}
+	for _, stmt := range q.Stmts {
+		switch s := stmt.(type) {
+		case aqlp.SetStmt:
+			switch s.Key {
+			case "simfunction":
+				sess.SimFunction = s.Val
+			case "simthreshold":
+				sess.SimThreshold = s.Val
+			}
+		case aqlp.UseStmt:
+			sess.Dataverse = s.Dataverse
+		default:
+			return nil, fmt.Errorf("core: Explain accepts only use/set statements")
+		}
+	}
+	if q.Body == nil {
+		return nil, fmt.Errorf("core: Explain needs a query body")
+	}
+	plan, stats, err := db.c.Compile(sess, q.Body)
+	if err != nil {
+		return nil, err
+	}
+	counts := map[string]int{}
+	algebra.Walk(plan, func(op *algebra.Op) { counts[op.Kind.String()]++ })
+	return &Explained{
+		PlanOps:     stats.PlanOps,
+		Plan:        stats.LogicalPlan,
+		KindCounts:  counts,
+		TranslateNs: stats.TranslateNs,
+		OptimizeNs:  stats.OptimizeNs,
+	}, nil
+}

@@ -1,0 +1,304 @@
+// Package datagen synthesizes the three evaluation datasets of the
+// paper's Table 3 — Amazon reviews, Reddit submissions, and tweets —
+// at configurable scale. The paper's raw data is not redistributable,
+// so these generators are calibrated to Table 4's field statistics
+// instead: a Zipf-distributed vocabulary drives token frequencies (the
+// skew prefix filtering exploits), name pools with typo injection give
+// edit-distance workloads realistic near-duplicates, and field lengths
+// match the reported averages (scaled maxima are documented in
+// DESIGN.md §3).
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"simdb/internal/adm"
+)
+
+// Kind names a dataset generator.
+type Kind string
+
+// The three datasets of the paper's evaluation.
+const (
+	Amazon  Kind = "amazon"
+	Reddit  Kind = "reddit"
+	Twitter Kind = "twitter"
+)
+
+// Fields returns the dataset's similarity fields as used in the paper
+// (Table 3 "Fields used"): the set-similarity (Jaccard) field and the
+// string-similarity (edit distance) field.
+func Fields(kind Kind) (jaccardField, edField string, err error) {
+	switch kind {
+	case Amazon:
+		return "summary", "reviewerName", nil
+	case Reddit:
+		return "title", "author", nil
+	case Twitter:
+		return "text", "user.name", nil
+	}
+	return "", "", fmt.Errorf("datagen: unknown dataset kind %q", kind)
+}
+
+// PKField returns the primary-key field each generator emits.
+func PKField(kind Kind) string { return "id" }
+
+// vocabulary is a deterministic pronounceable word list; index order is
+// frequency rank (rank 0 = most frequent).
+type vocabulary struct {
+	words []string
+	zipf  *rand.Zipf
+}
+
+var syllables = []string{
+	"ba", "be", "bi", "bo", "bu", "ca", "ce", "co", "cu", "da", "de", "di",
+	"do", "du", "fa", "fe", "fi", "fo", "ga", "ge", "go", "ha", "he", "hi",
+	"ho", "ja", "jo", "ka", "ke", "ki", "ko", "la", "le", "li", "lo", "lu",
+	"ma", "me", "mi", "mo", "mu", "na", "ne", "ni", "no", "nu", "pa", "pe",
+	"pi", "po", "ra", "re", "ri", "ro", "ru", "sa", "se", "si", "so", "su",
+	"ta", "te", "ti", "to", "tu", "va", "ve", "vi", "vo", "wa", "we", "wi",
+	"za", "zo",
+}
+
+// commonWords seed the top of the frequency distribution so generated
+// text looks plausible and token-frequency ordering is stable.
+var commonWords = []string{
+	"the", "a", "and", "of", "to", "is", "it", "for", "great", "good",
+	"product", "best", "ever", "love", "nice", "works", "quality", "fast",
+	"buy", "price", "than", "this", "that", "not", "very", "with", "was",
+	"my", "but", "you", "like", "really", "time", "would", "recommend",
+}
+
+func newVocabulary(r *rand.Rand, size int, zipfS float64) *vocabulary {
+	words := make([]string, 0, size)
+	seen := map[string]bool{}
+	add := func(w string) {
+		if !seen[w] {
+			seen[w] = true
+			words = append(words, w)
+		}
+	}
+	for _, w := range commonWords {
+		add(w)
+	}
+	for len(words) < size {
+		n := 2 + r.Intn(3)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteString(syllables[r.Intn(len(syllables))])
+		}
+		add(sb.String())
+	}
+	return &vocabulary{
+		words: words,
+		zipf:  rand.NewZipf(r, zipfS, 1, uint64(size-1)),
+	}
+}
+
+// word draws a Zipf-distributed word.
+func (v *vocabulary) word() string { return v.words[v.zipf.Uint64()] }
+
+// sentence draws n words.
+func (v *vocabulary) sentence(n int) string {
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = v.word()
+	}
+	return strings.Join(parts, " ")
+}
+
+// namePool builds person-like names and serves draws with controlled
+// near-duplication: most draws reuse a base name, and a fraction get
+// 1-2 random character edits (typos), so edit-distance selections at
+// k ∈ {1,2,3} have non-trivial, threshold-sensitive selectivity.
+type namePool struct {
+	r     *rand.Rand
+	base  []string
+	typoP float64
+}
+
+func newNamePool(r *rand.Rand, size int, typoP float64) *namePool {
+	base := make([]string, size)
+	for i := range base {
+		base[i] = genName(r)
+	}
+	return &namePool{r: r, base: base, typoP: typoP}
+}
+
+func genName(r *rand.Rand) string {
+	first := cap1(randWord(r, 2+r.Intn(2)))
+	last := cap1(randWord(r, 2+r.Intn(2)))
+	switch r.Intn(4) {
+	case 0:
+		return first // mononym
+	default:
+		return first + " " + last
+	}
+}
+
+func randWord(r *rand.Rand, nSyll int) string {
+	var sb strings.Builder
+	for i := 0; i < nSyll; i++ {
+		sb.WriteString(syllables[r.Intn(len(syllables))])
+	}
+	return sb.String()
+}
+
+func cap1(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+// draw returns a name, possibly a typo'd variant of a base name.
+func (p *namePool) draw() string {
+	name := p.base[p.r.Intn(len(p.base))]
+	if p.r.Float64() < p.typoP {
+		name = injectTypos(p.r, name, 1+p.r.Intn(2))
+	}
+	return name
+}
+
+// injectTypos applies k random single-character edits.
+func injectTypos(r *rand.Rand, s string, k int) string {
+	runes := []rune(s)
+	for i := 0; i < k && len(runes) > 1; i++ {
+		pos := r.Intn(len(runes))
+		switch r.Intn(3) {
+		case 0: // substitute
+			runes[pos] = rune('a' + r.Intn(26))
+		case 1: // delete
+			runes = append(runes[:pos], runes[pos+1:]...)
+		case 2: // insert
+			runes = append(runes[:pos], append([]rune{rune('a' + r.Intn(26))}, runes[pos:]...)...)
+		}
+	}
+	return string(runes)
+}
+
+// Options tunes a generator.
+type Options struct {
+	Seed int64
+	// TitleWords scales Reddit's long-text field (the paper's average
+	// is 1173 words; the default here is 40 to bound runtime — see
+	// DESIGN.md §3).
+	TitleWords int
+	// VocabSize is the token vocabulary size.
+	VocabSize int
+	// ZipfS is the Zipf skew parameter (>1).
+	ZipfS float64
+	// TypoRate is the fraction of names with injected typos.
+	TypoRate float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.TitleWords <= 0 {
+		o.TitleWords = 40
+	}
+	if o.VocabSize <= 0 {
+		o.VocabSize = 4000
+	}
+	if o.ZipfS <= 1 {
+		o.ZipfS = 1.15
+	}
+	if o.TypoRate <= 0 {
+		o.TypoRate = 0.3
+	}
+	return o
+}
+
+// Generate produces n records of the given kind and passes each to
+// emit. Generation is deterministic for a (kind, n, Options.Seed)
+// triple; ids run 1..n.
+func Generate(kind Kind, n int, opts Options, emit func(adm.Value) error) error {
+	o := opts.withDefaults()
+	r := rand.New(rand.NewSource(o.Seed + int64(len(kind))*7919))
+	vocab := newVocabulary(r, o.VocabSize, o.ZipfS)
+	names := newNamePool(r, 1+n/8, o.TypoRate)
+	for i := 1; i <= n; i++ {
+		var rec *adm.Record
+		switch kind {
+		case Amazon:
+			rec = amazonRecord(r, vocab, names, i, n)
+		case Reddit:
+			rec = redditRecord(r, vocab, names, i, n, o.TitleWords)
+		case Twitter:
+			rec = twitterRecord(r, vocab, names, i, n)
+		default:
+			return fmt.Errorf("datagen: unknown dataset kind %q", kind)
+		}
+		if err := emit(adm.NewRecord(rec)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// amazonRecord: reviewerName ~10 chars, summary ~4 words (Table 4).
+func amazonRecord(r *rand.Rand, vocab *vocabulary, names *namePool, id, n int) *adm.Record {
+	rec := adm.EmptyRecord(7)
+	rec.Set("id", adm.NewInt(int64(id)))
+	rec.Set("gid", adm.NewInt(int64(r.Intn(groupKeyCardinality(n)))))
+	rec.Set("reviewerName", adm.NewString(names.draw()))
+	rec.Set("summary", adm.NewString(vocab.sentence(1+poissonish(r, 3))))
+	rec.Set("overall", adm.NewInt(int64(1+r.Intn(5))))
+	rec.Set("asin", adm.NewString(fmt.Sprintf("B%09d", r.Intn(1_000_000))))
+	rec.Set("helpful", adm.NewInt(int64(r.Intn(50))))
+	return rec
+}
+
+// redditRecord: author ~24 chars (handle-style), long title.
+func redditRecord(r *rand.Rand, vocab *vocabulary, names *namePool, id, n, titleWords int) *adm.Record {
+	rec := adm.EmptyRecord(6)
+	rec.Set("id", adm.NewInt(int64(id)))
+	rec.Set("gid", adm.NewInt(int64(r.Intn(groupKeyCardinality(n)))))
+	author := strings.ReplaceAll(strings.ToLower(names.draw()), " ", "_")
+	author += fmt.Sprintf("_%s%d", randWord(r, 1+r.Intn(2)), r.Intn(1000))
+	rec.Set("author", adm.NewString(author))
+	rec.Set("title", adm.NewString(vocab.sentence(1+poissonish(r, titleWords-1))))
+	rec.Set("subreddit", adm.NewString(vocab.word()))
+	rec.Set("score", adm.NewInt(int64(r.Intn(10000))))
+	return rec
+}
+
+// twitterRecord: text ~10 words (max 70), nested user.name ~10 chars.
+func twitterRecord(r *rand.Rand, vocab *vocabulary, names *namePool, id, n int) *adm.Record {
+	user := adm.EmptyRecord(2)
+	user.Set("name", adm.NewString(names.draw()))
+	user.Set("followers", adm.NewInt(int64(r.Intn(100000))))
+	rec := adm.EmptyRecord(5)
+	rec.Set("id", adm.NewInt(int64(id)))
+	rec.Set("gid", adm.NewInt(int64(r.Intn(groupKeyCardinality(n)))))
+	nWords := 1 + poissonish(r, 9)
+	if nWords > 70 {
+		nWords = 70
+	}
+	rec.Set("text", adm.NewString(vocab.sentence(nWords)))
+	rec.Set("user", adm.NewRecord(user))
+	rec.Set("lang", adm.NewString("en"))
+	return rec
+}
+
+// groupKeyCardinality sizes the "gid" equi-join key domain so that a
+// random gid matches roughly 20 records regardless of dataset size
+// (the multi-way experiment's outer-limiting equi-join, paper §6.4.3).
+func groupKeyCardinality(n int) int {
+	c := n / 20
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// poissonish draws a cheap Poisson-like count with the given mean.
+func poissonish(r *rand.Rand, mean int) int {
+	if mean <= 0 {
+		return 0
+	}
+	// Sum of two uniforms approximates the Poisson's concentration well
+	// enough for field-length distributions.
+	return r.Intn(mean+1) + r.Intn(mean+1)
+}

@@ -1,0 +1,177 @@
+package datagen
+
+import (
+	"testing"
+
+	"simdb/internal/adm"
+	"simdb/internal/tokenizer"
+)
+
+func collect(t *testing.T, kind Kind, n int, opts Options) []adm.Value {
+	t.Helper()
+	var out []adm.Value
+	err := Generate(kind, n, opts, func(v adm.Value) error {
+		out = append(out, v)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestFields(t *testing.T) {
+	for _, k := range []Kind{Amazon, Reddit, Twitter} {
+		j, e, err := Fields(k)
+		if err != nil || j == "" || e == "" {
+			t.Errorf("Fields(%s) = %q, %q, %v", k, j, e, err)
+		}
+	}
+	if _, _, err := Fields("nope"); err == nil {
+		t.Error("unknown kind should error")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := collect(t, Amazon, 50, Options{Seed: 7})
+	b := collect(t, Amazon, 50, Options{Seed: 7})
+	for i := range a {
+		if !adm.Equal(a[i], b[i]) {
+			t.Fatalf("record %d differs between runs", i)
+		}
+	}
+	c := collect(t, Amazon, 50, Options{Seed: 8})
+	same := 0
+	for i := range a {
+		if adm.Equal(a[i], c[i]) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestGenerateIDsAndFields(t *testing.T) {
+	for _, k := range []Kind{Amazon, Reddit, Twitter} {
+		recs := collect(t, k, 100, Options{Seed: 1})
+		if len(recs) != 100 {
+			t.Fatalf("%s: %d records", k, len(recs))
+		}
+		jf, ef, _ := Fields(k)
+		for i, v := range recs {
+			rec := v.Rec()
+			id, ok := rec.Get("id")
+			if !ok || id.Int() != int64(i+1) {
+				t.Fatalf("%s record %d: id = %v", k, i, id)
+			}
+			if f, ok := rec.GetPath(jf); !ok || f.Kind() != adm.KindString {
+				t.Fatalf("%s: jaccard field %s missing", k, jf)
+			}
+			if f, ok := rec.GetPath(ef); !ok || f.Kind() != adm.KindString {
+				t.Fatalf("%s: ed field %s missing", k, ef)
+			}
+		}
+	}
+}
+
+func TestFieldStatisticsShape(t *testing.T) {
+	// Averages should be in the ballpark of Table 4 (scaled).
+	recs := collect(t, Amazon, 2000, Options{Seed: 3})
+	var charSum, wordSum int
+	for _, v := range recs {
+		name, _ := v.Rec().Get("reviewerName")
+		charSum += len(name.Str())
+		sum, _ := v.Rec().Get("summary")
+		wordSum += len(tokenizer.WordTokens(sum.Str()))
+	}
+	avgChars := float64(charSum) / float64(len(recs))
+	avgWords := float64(wordSum) / float64(len(recs))
+	if avgChars < 6 || avgChars > 20 {
+		t.Errorf("reviewerName avg chars = %.1f, want near 10", avgChars)
+	}
+	if avgWords < 2 || avgWords > 7 {
+		t.Errorf("summary avg words = %.1f, want near 4", avgWords)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// Token frequencies must be skewed: the most frequent token should
+	// appear far more often than the median one.
+	recs := collect(t, Twitter, 2000, Options{Seed: 5})
+	freq := map[string]int{}
+	for _, v := range recs {
+		txt, _ := v.Rec().Get("text")
+		for _, tok := range tokenizer.WordTokens(txt.Str()) {
+			freq[tok]++
+		}
+	}
+	max := 0
+	total := 0
+	for _, c := range freq {
+		if c > max {
+			max = c
+		}
+		total += c
+	}
+	if len(freq) < 100 {
+		t.Fatalf("vocabulary too small: %d distinct tokens", len(freq))
+	}
+	avg := total / len(freq)
+	if max < 20*avg {
+		t.Errorf("token distribution not skewed: max %d vs avg %d", max, avg)
+	}
+}
+
+func TestTypoInjection(t *testing.T) {
+	// With typos on, many names should be near (but not equal to) a base
+	// name — check that duplicates AND near-duplicates both exist.
+	recs := collect(t, Amazon, 3000, Options{Seed: 11})
+	names := map[string]int{}
+	for _, v := range recs {
+		n, _ := v.Rec().Get("reviewerName")
+		names[n.Str()]++
+	}
+	dups := 0
+	for _, c := range names {
+		if c > 1 {
+			dups++
+		}
+	}
+	if dups == 0 {
+		t.Error("expected repeated base names")
+	}
+	if len(names) < 100 {
+		t.Errorf("name diversity too low: %d distinct", len(names))
+	}
+}
+
+func TestNestedTwitterUser(t *testing.T) {
+	recs := collect(t, Twitter, 10, Options{Seed: 2})
+	u, ok := recs[0].Rec().Get("user")
+	if !ok || u.Kind() != adm.KindRecord {
+		t.Fatal("user field should be a nested record")
+	}
+	if _, ok := u.Rec().Get("name"); !ok {
+		t.Error("user.name missing")
+	}
+}
+
+func TestRedditTitleScaling(t *testing.T) {
+	recs := collect(t, Reddit, 300, Options{Seed: 4, TitleWords: 10})
+	var words int
+	for _, v := range recs {
+		title, _ := v.Rec().Get("title")
+		words += len(tokenizer.WordTokens(title.Str()))
+	}
+	avg := float64(words) / float64(len(recs))
+	if avg < 5 || avg > 15 {
+		t.Errorf("scaled title avg words = %.1f, want near 10", avg)
+	}
+}
+
+func TestGenerateUnknownKind(t *testing.T) {
+	if err := Generate("bogus", 1, Options{}, func(adm.Value) error { return nil }); err == nil {
+		t.Error("unknown kind should error")
+	}
+}

@@ -1,0 +1,279 @@
+package hyracks
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// OpStats is the per-operator aggregate over all instances.
+type OpStats struct {
+	Name      string
+	TuplesOut int64
+	BusyNs    int64
+}
+
+// JobStats summarizes one job execution: real wall time, per-node
+// operator busy time (time not spent blocked on connectors), and the
+// simulated network traffic. The cluster layer's cost model combines
+// these into an estimated parallel makespan for the scale-out and
+// speed-up experiments.
+type JobStats struct {
+	WallNs        int64
+	PerNodeBusyNs []int64
+	// PerNodeTuples counts tuples emitted by each node's operator
+	// instances — a contention-free work measure the cost model uses
+	// for the scale-out/speed-up estimates (goroutine time-sharing on a
+	// small host inflates busy time across configurations; tuple counts
+	// do not).
+	PerNodeTuples []int64
+	BytesShuffled int64
+	NetMessages   int64
+	Ops           []OpStats
+}
+
+// MaxNodeTuples returns the busiest node's tuple count.
+func (s *JobStats) MaxNodeTuples() int64 {
+	var max int64
+	for _, b := range s.PerNodeTuples {
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// MaxNodeBusyNs returns the busiest node's operator time.
+func (s *JobStats) MaxNodeBusyNs() int64 {
+	var max int64
+	for _, b := range s.PerNodeBusyNs {
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// TotalBusyNs returns the summed operator time across nodes.
+func (s *JobStats) TotalBusyNs() int64 {
+	var sum int64
+	for _, b := range s.PerNodeBusyNs {
+		sum += b
+	}
+	return sum
+}
+
+// edge carries the channel plumbing for one (producer port, consumer
+// port) connection.
+type edge struct {
+	spec      ConnectorSpec
+	prodParts int
+	consParts int
+	plain     []*refCountedChan // nil for merging connectors
+	merged    [][]chan frame    // merged[consumer][producer]
+	consNodes []int
+}
+
+// Run executes the job on the topology and blocks until every operator
+// instance finishes. The first operator error cancels the job and is
+// returned.
+func Run(ctx context.Context, job *Job, topo Topology) (*JobStats, error) {
+	start := time.Now()
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var bytesShuffled, netMessages atomic.Int64
+
+	// Validate and build edges, indexed by (consumer op, input port).
+	edges := make(map[*OpNode][]*edge)
+	for _, n := range job.nodes {
+		if n.Parts < 1 {
+			return nil, fmt.Errorf("hyracks: op %s has %d partitions", n.Name, n.Parts)
+		}
+		for _, in := range n.Inputs {
+			if in.FromPort >= in.From.OutPorts {
+				return nil, fmt.Errorf("hyracks: op %s reads missing port %d of %s", n.Name, in.FromPort, in.From.Name)
+			}
+			spec := in.Conn
+			switch spec.Type {
+			case OneToOne:
+				if in.From.Parts != n.Parts {
+					return nil, fmt.Errorf("hyracks: OneToOne between %s(%d) and %s(%d)", in.From.Name, in.From.Parts, n.Name, n.Parts)
+				}
+			case GatherOne, MergeOne:
+				if n.Parts != 1 {
+					return nil, fmt.Errorf("hyracks: %v into %s with %d parts", spec.Type, n.Name, n.Parts)
+				}
+			}
+			e := &edge{spec: spec, prodParts: in.From.Parts, consParts: n.Parts}
+			e.consNodes = make([]int, n.Parts)
+			for c := 0; c < n.Parts; c++ {
+				e.consNodes[c] = topo.NodeOf(c, n.Parts)
+			}
+			if spec.Type == HashMerge || spec.Type == MergeOne {
+				e.merged = make([][]chan frame, n.Parts)
+				for c := range e.merged {
+					e.merged[c] = make([]chan frame, in.From.Parts)
+					for p := range e.merged[c] {
+						e.merged[c][p] = make(chan frame, chanCap)
+					}
+				}
+			} else {
+				e.plain = make([]*refCountedChan, n.Parts)
+				for c := range e.plain {
+					e.plain[c] = &refCountedChan{ch: make(chan frame, chanCap), remaining: in.From.Parts}
+				}
+			}
+			edges[n] = append(edges[n], e)
+		}
+	}
+
+	// Output edges per (producer, port). Each output port must feed
+	// exactly one consumer edge.
+	outEdges := make(map[*OpNode][]*edge)
+	for _, n := range job.nodes {
+		outEdges[n] = make([]*edge, n.OutPorts)
+	}
+	for _, n := range job.nodes {
+		for i, in := range n.Inputs {
+			slot := outEdges[in.From]
+			if slot[in.FromPort] != nil {
+				return nil, fmt.Errorf("hyracks: output port %d of %s feeds two consumers", in.FromPort, in.From.Name)
+			}
+			slot[in.FromPort] = edges[n][i]
+		}
+	}
+	for _, n := range job.nodes {
+		for p, e := range outEdges[n] {
+			if e == nil {
+				return nil, fmt.Errorf("hyracks: output port %d of %s is unconnected", p, n.Name)
+			}
+		}
+	}
+
+	var reg *stateRegistry
+	if delay := hangDumpAfter(); delay > 0 {
+		reg = &stateRegistry{}
+		stop := armWatchdog(reg, delay)
+		defer stop()
+	}
+
+	nNodes := topo.Nodes()
+	perNodeBusy := make([]int64, nNodes)
+	perNodeTuples := make([]int64, nNodes)
+	opBusy := make([]int64, len(job.nodes))
+	opTuples := make([]int64, len(job.nodes))
+	var statsMu sync.Mutex
+
+	var firstErr error
+	var errOnce sync.Once
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	var wg sync.WaitGroup
+	for _, n := range job.nodes {
+		n := n
+		for p := 0; p < n.Parts; p++ {
+			p := p
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				node := topo.NodeOf(p, n.Parts)
+				var recvWait int64
+
+				instState := reg.add(n.Name, p)
+				ins := make([]*PortReader, len(n.Inputs))
+				for i, e := range edges[n] {
+					pr := &PortReader{ctx: runCtx, waitNs: &recvWait, state: instState, portIdx: i}
+					if e.merged != nil {
+						pr.chans = e.merged[p]
+						pr.mergeBy = e.spec.SortCols
+					} else {
+						pr.ch = e.plain[p].ch
+					}
+					ins[i] = pr
+				}
+				outs := make([]*Emitter, n.OutPorts)
+				for o, e := range outEdges[n] {
+					emState := instState
+					if n.OutPorts > 1 {
+						// Replicate-style ops write ports concurrently;
+						// give each emitter its own diagnostic slot.
+						emState = reg.add(fmt.Sprintf("%s/out%d", n.Name, o), p)
+					}
+					em := &Emitter{
+						state:         emState,
+						ctx:           runCtx,
+						spec:          e.spec,
+						prodPart:      p,
+						prodNode:      node,
+						consNodes:     e.consNodes,
+						bufs:          make([][]Tuple, e.consParts),
+						bytesShuffled: &bytesShuffled,
+						netMessages:   &netMessages,
+					}
+					if e.merged != nil {
+						em.merged = make([]chan frame, e.consParts)
+						for c := 0; c < e.consParts; c++ {
+							em.merged[c] = e.merged[c][p]
+						}
+					} else {
+						em.plain = e.plain
+					}
+					outs[o] = em
+				}
+
+				t0 := time.Now()
+				op := n.Make()
+				err := op.Run(&TaskCtx{Ctx: runCtx, Part: p, Node: node}, ins, outs)
+				// Drain unread input so upstream producers can finish,
+				// then close outputs.
+				for _, pr := range ins {
+					pr.Drain()
+				}
+				var tuplesOut, sendWait int64
+				for _, em := range outs {
+					em.Close()
+					tuplesOut += em.tuplesOut
+					sendWait += em.sendWaitNs
+				}
+				instState.finish()
+				busy := time.Since(t0).Nanoseconds() - recvWait - sendWait
+				if busy < 0 {
+					busy = 0
+				}
+				statsMu.Lock()
+				perNodeBusy[node] += busy
+				perNodeTuples[node] += tuplesOut
+				opBusy[n.ID] += busy
+				opTuples[n.ID] += tuplesOut
+				statsMu.Unlock()
+				if err != nil {
+					fail(fmt.Errorf("%s[%d]: %w", n.Name, p, err))
+				}
+			}()
+		}
+	}
+	wg.Wait()
+
+	if firstErr == nil && ctx.Err() != nil {
+		firstErr = ctx.Err()
+	}
+	stats := &JobStats{
+		WallNs:        time.Since(start).Nanoseconds(),
+		PerNodeBusyNs: perNodeBusy,
+		PerNodeTuples: perNodeTuples,
+		BytesShuffled: bytesShuffled.Load(),
+		NetMessages:   netMessages.Load(),
+	}
+	for _, n := range job.nodes {
+		stats.Ops = append(stats.Ops, OpStats{Name: n.Name, TuplesOut: opTuples[n.ID], BusyNs: opBusy[n.ID]})
+	}
+	return stats, firstErr
+}

@@ -1,0 +1,594 @@
+package hyracks
+
+import (
+	"sync"
+
+	"simdb/internal/adm"
+)
+
+// The runtime operator library. Every operator of the paper's plans is
+// here; expression logic arrives as closures compiled by the algebra
+// layer, so the runtime stays independent of the query language.
+
+// SourceFunc builds a source operator (no inputs) that calls produce,
+// which must invoke emit for every tuple of this instance's partition.
+func SourceFunc(produce func(ctx *TaskCtx, emit func(Tuple)) error) func() Operator {
+	return func() Operator {
+		return OpFunc(func(ctx *TaskCtx, in []*PortReader, out []*Emitter) error {
+			return produce(ctx, func(t Tuple) { out[0].Emit(t) })
+		})
+	}
+}
+
+// FlatMap builds an operator applying fn to each input tuple; fn emits
+// zero or more output tuples. Select, Assign, Project, Unnest, and the
+// index-search operators are all FlatMaps with different closures.
+func FlatMap(fn func(ctx *TaskCtx, t Tuple, emit func(Tuple)) error) func() Operator {
+	return func() Operator {
+		return OpFunc(func(ctx *TaskCtx, in []*PortReader, out []*Emitter) error {
+			emit := func(t Tuple) { out[0].Emit(t) }
+			for {
+				t, ok := in[0].Next()
+				if !ok {
+					return ctx.Ctx.Err()
+				}
+				if err := fn(ctx, t, emit); err != nil {
+					return err
+				}
+			}
+		})
+	}
+}
+
+// MapStateful is FlatMap with per-instance state created by newState
+// and a finish hook for emitting trailing tuples.
+func MapStateful[S any](
+	newState func() S,
+	fn func(ctx *TaskCtx, st S, t Tuple, emit func(Tuple)) error,
+	finish func(ctx *TaskCtx, st S, emit func(Tuple)) error,
+) func() Operator {
+	return func() Operator {
+		return OpFunc(func(ctx *TaskCtx, in []*PortReader, out []*Emitter) error {
+			st := newState()
+			emit := func(t Tuple) { out[0].Emit(t) }
+			for {
+				t, ok := in[0].Next()
+				if !ok {
+					break
+				}
+				if err := fn(ctx, st, t, emit); err != nil {
+					return err
+				}
+			}
+			if finish != nil {
+				if err := finish(ctx, st, emit); err != nil {
+					return err
+				}
+			}
+			return ctx.Ctx.Err()
+		})
+	}
+}
+
+// Sort consumes all input, sorts it by cols, and emits it. In-memory,
+// per partition; a MergeOne/HashMerge connector downstream extends the
+// order across partitions.
+func Sort(cols []SortCol) func() Operator {
+	return func() Operator {
+		return OpFunc(func(ctx *TaskCtx, in []*PortReader, out []*Emitter) error {
+			var all []Tuple
+			for {
+				t, ok := in[0].Next()
+				if !ok {
+					break
+				}
+				all = append(all, t)
+			}
+			sortTuples(all, cols)
+			for _, t := range all {
+				out[0].Emit(t)
+			}
+			return ctx.Ctx.Err()
+		})
+	}
+}
+
+// Rank appends a 1-based int64 position column to each tuple in arrival
+// order. Run it single-instance after a MergeOne connector to implement
+// AQL's positional "at" variable over a globally ordered stream.
+func Rank() func() Operator {
+	return func() Operator {
+		return OpFunc(func(ctx *TaskCtx, in []*PortReader, out []*Emitter) error {
+			var i int64
+			for {
+				t, ok := in[0].Next()
+				if !ok {
+					return ctx.Ctx.Err()
+				}
+				i++
+				nt := make(Tuple, len(t)+1)
+				copy(nt, t)
+				nt[len(t)] = adm.NewInt(i)
+				out[0].Emit(nt)
+			}
+		})
+	}
+}
+
+// Limit emits at most n tuples then stops reading.
+func Limit(n int64) func() Operator {
+	return func() Operator {
+		return OpFunc(func(ctx *TaskCtx, in []*PortReader, out []*Emitter) error {
+			var c int64
+			for c < n {
+				t, ok := in[0].Next()
+				if !ok {
+					break
+				}
+				out[0].Emit(t)
+				c++
+			}
+			return ctx.Ctx.Err()
+		})
+	}
+}
+
+// AggKind enumerates aggregate functions for group-by and scalar
+// aggregation.
+type AggKind int
+
+// Aggregate kinds. Listify collects values into an ordered list (the
+// "with $v" semantics of AQL group-by); First keeps the first value.
+const (
+	AggCount AggKind = iota
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+	AggListify
+	AggFirst
+)
+
+// AggSpec aggregates input column In into an output column.
+type AggSpec struct {
+	Kind AggKind
+	In   int // input column; ignored for AggCount
+}
+
+type aggState struct {
+	count int64
+	sum   float64
+	sumI  int64
+	isInt bool
+	min   adm.Value
+	max   adm.Value
+	list  []adm.Value
+	first adm.Value
+	has   bool
+}
+
+func (a *aggState) add(spec AggSpec, t Tuple) {
+	switch spec.Kind {
+	case AggCount:
+		a.count++
+	case AggSum, AggAvg:
+		v := t[spec.In]
+		if f, ok := v.Num(); ok {
+			a.count++
+			a.sum += f
+			if v.Kind() == adm.KindInt {
+				a.sumI += v.Int()
+			} else {
+				a.isInt = false
+			}
+			if !a.has {
+				a.isInt = v.Kind() == adm.KindInt
+				a.has = true
+			} else if v.Kind() != adm.KindInt {
+				a.isInt = false
+			}
+		}
+	case AggMin:
+		v := t[spec.In]
+		if !a.has || adm.Less(v, a.min) {
+			a.min = v
+			a.has = true
+		}
+	case AggMax:
+		v := t[spec.In]
+		if !a.has || adm.Less(a.max, v) {
+			a.max = v
+			a.has = true
+		}
+	case AggListify:
+		a.list = append(a.list, t[spec.In])
+	case AggFirst:
+		if !a.has {
+			a.first = t[spec.In]
+			a.has = true
+		}
+	}
+}
+
+func (a *aggState) result(spec AggSpec) adm.Value {
+	switch spec.Kind {
+	case AggCount:
+		return adm.NewInt(a.count)
+	case AggSum:
+		if !a.has {
+			return adm.Null
+		}
+		if a.isInt {
+			return adm.NewInt(a.sumI)
+		}
+		return adm.NewDouble(a.sum)
+	case AggAvg:
+		if a.count == 0 {
+			return adm.Null
+		}
+		return adm.NewDouble(a.sum / float64(a.count))
+	case AggMin:
+		if !a.has {
+			return adm.Null
+		}
+		return a.min
+	case AggMax:
+		if !a.has {
+			return adm.Null
+		}
+		return a.max
+	case AggListify:
+		return adm.NewList(a.list)
+	case AggFirst:
+		if !a.has {
+			return adm.Null
+		}
+		return a.first
+	}
+	return adm.Null
+}
+
+// HashGroup groups input by the key columns using a hash table and
+// emits one tuple per group: key columns followed by one column per
+// aggregate. Input must already be partitioned by the keys (Hash
+// connector) for global correctness; the "/*+ hash */" hint of the
+// paper's stage 1 maps here.
+func HashGroup(keys []int, aggs []AggSpec) func() Operator {
+	return func() Operator {
+		return OpFunc(func(ctx *TaskCtx, in []*PortReader, out []*Emitter) error {
+			type group struct {
+				key  Tuple
+				aggs []aggState
+			}
+			groups := make(map[uint64][]*group)
+			for {
+				t, ok := in[0].Next()
+				if !ok {
+					break
+				}
+				h := uint64(0x12345)
+				for _, k := range keys {
+					h = adm.HashSeed(h, t[k])
+				}
+				var g *group
+				for _, cand := range groups[h] {
+					match := true
+					for i, k := range keys {
+						if !adm.Equal(cand.key[i], t[k]) {
+							match = false
+							break
+						}
+					}
+					if match {
+						g = cand
+						break
+					}
+				}
+				if g == nil {
+					key := make(Tuple, len(keys))
+					for i, k := range keys {
+						key[i] = t[k]
+					}
+					g = &group{key: key, aggs: make([]aggState, len(aggs))}
+					groups[h] = append(groups[h], g)
+				}
+				for i, spec := range aggs {
+					g.aggs[i].add(spec, t)
+				}
+			}
+			for _, bucket := range groups {
+				for _, g := range bucket {
+					row := make(Tuple, 0, len(keys)+len(aggs))
+					row = append(row, g.key...)
+					for i, spec := range aggs {
+						row = append(row, g.aggs[i].result(spec))
+					}
+					out[0].Emit(row)
+				}
+			}
+			return ctx.Ctx.Err()
+		})
+	}
+}
+
+// SortGroup is the sort-based group-by: it requires input ordered by
+// the key columns and streams one output tuple per key run. It is the
+// default AsterixDB aggregation the paper's "/*+ hash */" hint replaces.
+func SortGroup(keys []int, aggs []AggSpec) func() Operator {
+	sortCols := make([]SortCol, len(keys))
+	for i, k := range keys {
+		sortCols[i] = SortCol{Col: k}
+	}
+	return func() Operator {
+		return OpFunc(func(ctx *TaskCtx, in []*PortReader, out []*Emitter) error {
+			var curKey Tuple
+			var states []aggState
+			flush := func() {
+				if curKey == nil {
+					return
+				}
+				row := make(Tuple, 0, len(keys)+len(aggs))
+				row = append(row, curKey...)
+				for i, spec := range aggs {
+					row = append(row, states[i].result(spec))
+				}
+				out[0].Emit(row)
+			}
+			for {
+				t, ok := in[0].Next()
+				if !ok {
+					break
+				}
+				key := make(Tuple, len(keys))
+				for i, k := range keys {
+					key[i] = t[k]
+				}
+				if curKey == nil || CompareTuples(key, curKey, sortColsIdentity(len(keys))) != 0 {
+					flush()
+					curKey = key
+					states = make([]aggState, len(aggs))
+				}
+				for i, spec := range aggs {
+					states[i].add(spec, t)
+				}
+			}
+			flush()
+			return ctx.Ctx.Err()
+		})
+	}
+}
+
+// sortColsIdentity returns sort columns 0..n-1 ascending (keys copied
+// into a fresh tuple are compared positionally).
+func sortColsIdentity(n int) []SortCol {
+	out := make([]SortCol, n)
+	for i := range out {
+		out[i] = SortCol{Col: i}
+	}
+	return out
+}
+
+// Aggregate computes scalar aggregates over its entire input and emits
+// exactly one tuple. Run single-instance below a GatherOne connector,
+// or per-partition as a local pre-aggregation.
+func Aggregate(aggs []AggSpec) func() Operator {
+	return func() Operator {
+		return OpFunc(func(ctx *TaskCtx, in []*PortReader, out []*Emitter) error {
+			states := make([]aggState, len(aggs))
+			for {
+				t, ok := in[0].Next()
+				if !ok {
+					break
+				}
+				for i, spec := range aggs {
+					states[i].add(spec, t)
+				}
+			}
+			row := make(Tuple, len(aggs))
+			for i, spec := range aggs {
+				row[i] = states[i].result(spec)
+			}
+			out[0].Emit(row)
+			return ctx.Ctx.Err()
+		})
+	}
+}
+
+// HashJoin builds a hash table on input port 0 and probes it with port
+// 1, emitting build ++ probe concatenations for key-equal pairs. Keys
+// compare with adm equality (null keys never match). Both inputs must
+// be partitioned compatibly (Hash/Hash or Broadcast build).
+func HashJoin(buildKeys, probeKeys []int) func() Operator {
+	return func() Operator {
+		return OpFunc(func(ctx *TaskCtx, in []*PortReader, out []*Emitter) error {
+			table := make(map[uint64][]Tuple)
+			for {
+				t, ok := in[0].Next()
+				if !ok {
+					break
+				}
+				h := uint64(0xABCD)
+				for _, k := range buildKeys {
+					h = adm.HashSeed(h, t[k])
+				}
+				table[h] = append(table[h], t)
+			}
+			for {
+				t, ok := in[1].Next()
+				if !ok {
+					return ctx.Ctx.Err()
+				}
+				h := uint64(0xABCD)
+				for _, k := range probeKeys {
+					h = adm.HashSeed(h, t[k])
+				}
+				for _, b := range table[h] {
+					match := true
+					for i := range buildKeys {
+						bv, pv := b[buildKeys[i]], t[probeKeys[i]]
+						if bv.IsNull() || pv.IsNull() || !adm.Equal(bv, pv) {
+							match = false
+							break
+						}
+					}
+					if match {
+						row := make(Tuple, 0, len(b)+len(t))
+						row = append(row, b...)
+						row = append(row, t...)
+						out[0].Emit(row)
+					}
+				}
+			}
+		})
+	}
+}
+
+// NestedLoopJoin materializes input port 0 and, for each tuple of port
+// 1, emits build ++ probe rows satisfying pred. pred may be nil (cross
+// product). The build side is typically broadcast.
+func NestedLoopJoin(pred func(build, probe Tuple) (bool, error)) func() Operator {
+	return func() Operator {
+		return OpFunc(func(ctx *TaskCtx, in []*PortReader, out []*Emitter) error {
+			var build []Tuple
+			for {
+				t, ok := in[0].Next()
+				if !ok {
+					break
+				}
+				build = append(build, t)
+			}
+			for {
+				t, ok := in[1].Next()
+				if !ok {
+					return ctx.Ctx.Err()
+				}
+				for _, b := range build {
+					okPair := true
+					if pred != nil {
+						var err error
+						okPair, err = pred(b, t)
+						if err != nil {
+							return err
+						}
+					}
+					if okPair {
+						row := make(Tuple, 0, len(b)+len(t))
+						row = append(row, b...)
+						row = append(row, t...)
+						out[0].Emit(row)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Union forwards every input port's tuples to the output (bag union,
+// no dedup), reading ports sequentially.
+func Union() func() Operator {
+	return func() Operator {
+		return OpFunc(func(ctx *TaskCtx, in []*PortReader, out []*Emitter) error {
+			for _, port := range in {
+				for {
+					t, ok := port.Next()
+					if !ok {
+						break
+					}
+					out[0].Emit(t)
+				}
+			}
+			return ctx.Ctx.Err()
+		})
+	}
+}
+
+// Replicate materializes its input, then emits the whole buffer to each
+// of its output ports concurrently. Materialization (the paper's
+// Figure 20 "Materialize" under "Replicate") makes the operator safe
+// when its consumers depend on one another, as in the three-stage
+// self-join where stage 1's output joins stage 2's.
+func Replicate(outPorts int) func() Operator {
+	_ = outPorts // documented at the OpNode level; Run uses len(out)
+	return func() Operator {
+		return OpFunc(func(ctx *TaskCtx, in []*PortReader, out []*Emitter) error {
+			var all []Tuple
+			for {
+				t, ok := in[0].Next()
+				if !ok {
+					break
+				}
+				all = append(all, t)
+			}
+			var wg sync.WaitGroup
+			for _, em := range out {
+				em := em
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for _, t := range all {
+						em.Emit(t)
+					}
+					// Close this port now: holding its end-of-stream
+					// until every other port finishes can deadlock
+					// consumers that depend on one another.
+					em.Close()
+				}()
+			}
+			wg.Wait()
+			return ctx.Ctx.Err()
+		})
+	}
+}
+
+// Materialize buffers its input completely before emitting — a plain
+// pipeline breaker.
+func Materialize() func() Operator {
+	return func() Operator {
+		return OpFunc(func(ctx *TaskCtx, in []*PortReader, out []*Emitter) error {
+			var all []Tuple
+			for {
+				t, ok := in[0].Next()
+				if !ok {
+					break
+				}
+				all = append(all, t)
+			}
+			for _, t := range all {
+				out[0].Emit(t)
+			}
+			return ctx.Ctx.Err()
+		})
+	}
+}
+
+// Collector is a sink gathering result tuples; create one per job and
+// add its node with parts=1 below a GatherOne or MergeOne connector.
+type Collector struct {
+	mu     sync.Mutex
+	Tuples []Tuple
+}
+
+// Op returns the sink operator factory.
+func (c *Collector) Op() func() Operator {
+	return func() Operator {
+		return OpFunc(func(ctx *TaskCtx, in []*PortReader, out []*Emitter) error {
+			for {
+				t, ok := in[0].Next()
+				if !ok {
+					return ctx.Ctx.Err()
+				}
+				c.mu.Lock()
+				c.Tuples = append(c.Tuples, t)
+				c.mu.Unlock()
+			}
+		})
+	}
+}
+
+// MakeSink adds a single-instance Collector sink node (no output
+// ports) fed by input.
+func MakeSink(j *Job, name string, c *Collector, input Input) *OpNode {
+	n := j.Add(name, 1, c.Op(), input)
+	n.OutPorts = 0
+	return n
+}

@@ -1,0 +1,192 @@
+package invindex
+
+import (
+	"math"
+	"sort"
+)
+
+// MergeSkip and DivideSkip from "Efficient Merging and Filtering
+// Algorithms for Approximate String Searches" (Li et al., ICDE 2008),
+// the list-merging algorithms AsterixDB's inverted-index search uses to
+// solve the T-occurrence problem.
+
+// frontier is a heap entry: the current element of one posting list.
+type frontier struct {
+	val  PK
+	list int // which list
+	pos  int // index of val within that list
+}
+
+// frontierHeap is a binary min-heap ordered by val.
+type frontierHeap []frontier
+
+func (h *frontierHeap) push(f frontier) {
+	*h = append(*h, f)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].val <= (*h)[i].val {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *frontierHeap) pop() frontier {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && (*h)[l].val < (*h)[small].val {
+			small = l
+		}
+		if r < last && (*h)[r].val < (*h)[small].val {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}
+
+// pkCount pairs a candidate with its occurrence count.
+type pkCount struct {
+	pk    PK
+	count int
+}
+
+// mergeSkipCounts runs MergeSkip over sorted posting lists and returns
+// every pk occurring on at least t lists, with its exact count, in
+// sorted pk order.
+func mergeSkipCounts(lists [][]PK, t int) []pkCount {
+	if t <= 0 || t > len(lists) {
+		return nil
+	}
+	var h frontierHeap
+	for i, l := range lists {
+		if len(l) > 0 {
+			h.push(frontier{val: l[0], list: i, pos: 0})
+		}
+	}
+	var out []pkCount
+	popped := make([]frontier, 0, len(lists))
+	for len(h) > 0 {
+		// Pop every frontier equal to the minimum.
+		popped = popped[:0]
+		top := h.pop()
+		popped = append(popped, top)
+		for len(h) > 0 && h[0].val == top.val {
+			popped = append(popped, h.pop())
+		}
+		if len(popped) >= t {
+			out = append(out, pkCount{pk: top.val, count: len(popped)})
+			// Advance each popped list by one.
+			for _, f := range popped {
+				if f.pos+1 < len(lists[f.list]) {
+					h.push(frontier{val: lists[f.list][f.pos+1], list: f.list, pos: f.pos + 1})
+				}
+			}
+			continue
+		}
+		// Too few occurrences: pop until t-1 frontiers are in hand, then
+		// skip all of them forward to the new heap minimum.
+		for len(popped) < t-1 && len(h) > 0 {
+			popped = append(popped, h.pop())
+		}
+		if len(h) == 0 {
+			// Only len(popped) <= t-1 lists remain; no value can reach t.
+			break
+		}
+		bound := h[0].val
+		for _, f := range popped {
+			l := lists[f.list]
+			// First element >= bound at or after the current position.
+			j := f.pos + sort.Search(len(l)-f.pos, func(k int) bool { return l[f.pos+k] >= bound })
+			if j < len(l) {
+				h.push(frontier{val: l[j], list: f.list, pos: j})
+			}
+		}
+	}
+	return out
+}
+
+// mergeSkip returns the MergeSkip candidates without counts.
+func mergeSkip(lists [][]PK, t int) []PK {
+	counted := mergeSkipCounts(lists, t)
+	out := make([]PK, len(counted))
+	for i, c := range counted {
+		out[i] = c.pk
+	}
+	return out
+}
+
+// divideSkipMu is the tuning constant of DivideSkip's long-list count
+// heuristic L = T / (mu*log2(M) + 1); Li et al. found values near 0.01
+// effective.
+const divideSkipMu = 0.01
+
+// divideSkip splits the lists into the L longest ("long") lists and the
+// rest ("short"), runs MergeSkip over the short lists with threshold
+// T-L, and completes each candidate's count by binary-searching the
+// long lists. Correct because a pk on fewer than T-L short lists can
+// gather at most L < T total occurrences.
+func divideSkip(lists [][]PK, t int) []PK {
+	if t <= 0 || t > len(lists) {
+		return nil
+	}
+	order := make([]int, len(lists))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return len(lists[order[a]]) > len(lists[order[b]]) })
+
+	longest := len(lists[order[0]])
+	l := 0
+	if longest > 1 {
+		l = int(float64(t) / (divideSkipMu*math.Log2(float64(longest)) + 1))
+	}
+	if l > t-1 {
+		l = t - 1
+	}
+	if l > len(lists)-1 {
+		l = len(lists) - 1
+	}
+	if l < 0 {
+		l = 0
+	}
+	long := make([][]PK, 0, l)
+	short := make([][]PK, 0, len(lists)-l)
+	for i, idx := range order {
+		if i < l {
+			long = append(long, lists[idx])
+		} else {
+			short = append(short, lists[idx])
+		}
+	}
+	var out []PK
+	for _, cand := range mergeSkipCounts(short, t-l) {
+		total := cand.count
+		for _, ll := range long {
+			if total >= t {
+				break
+			}
+			j := sort.Search(len(ll), func(k int) bool { return ll[k] >= cand.pk })
+			if j < len(ll) && ll[j] == cand.pk {
+				total++
+			}
+		}
+		if total >= t {
+			out = append(out, cand.pk)
+		}
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// BufferCache is a node-wide LRU page cache. All component files of all
+// partitions on a node read their data pages through one cache, like
+// AsterixDB's per-node disk buffer cache (Table 2: "Disk buffer cache
+// size"). Thread safe.
+type BufferCache struct {
+	pageSize int
+	capacity int // in pages
+
+	mu      sync.Mutex
+	entries map[pageKey]*list.Element
+	lru     *list.List // front = most recently used
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	pagesRead atomic.Int64
+}
+
+type pageKey struct {
+	fileID uint64
+	pageNo uint32
+}
+
+type cacheEntry struct {
+	key  pageKey
+	data []byte
+}
+
+// NewBufferCache creates a cache of capacityBytes total with the given
+// page size.
+func NewBufferCache(capacityBytes, pageSize int) *BufferCache {
+	pages := capacityBytes / pageSize
+	if pages < 4 {
+		pages = 4
+	}
+	return &BufferCache{
+		pageSize: pageSize,
+		capacity: pages,
+		entries:  make(map[pageKey]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// PageSize returns the cache's page size.
+func (c *BufferCache) PageSize() int { return c.pageSize }
+
+// ReadRegion returns bytes [off, off+length) of the reader identified
+// by fileID, fetched through the cache and keyed by the region ordinal
+// regionNo (component data pages are variable-length regions of
+// roughly one page each, so one region ≈ one cache page). The returned
+// slice is shared — callers must not modify it.
+func (c *BufferCache) ReadRegion(fileID uint64, r io.ReaderAt, regionNo uint32, off int64, length int) ([]byte, error) {
+	key := pageKey{fileID, regionNo}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		data := el.Value.(*cacheEntry).data
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return data, nil
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	data := make([]byte, length)
+	n, err := r.ReadAt(data, off)
+	if err != nil && !(err == io.EOF && n == length) {
+		return nil, fmt.Errorf("storage: read region %d of file %d: %w", regionNo, fileID, err)
+	}
+	c.pagesRead.Add(1)
+
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		// Raced with another reader; keep the resident copy.
+		c.lru.MoveToFront(el)
+		data = el.Value.(*cacheEntry).data
+		c.mu.Unlock()
+		return data, nil
+	}
+	el := c.lru.PushFront(&cacheEntry{key: key, data: data})
+	c.entries[key] = el
+	for c.lru.Len() > c.capacity {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+	c.mu.Unlock()
+	return data, nil
+}
+
+// Evict drops every cached page of fileID (called when a component file
+// is deleted after compaction).
+func (c *BufferCache) Evict(fileID uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, el := range c.entries {
+		if key.fileID == fileID {
+			c.lru.Remove(el)
+			delete(c.entries, key)
+		}
+	}
+}
+
+// CacheStats is a point-in-time snapshot of cache counters.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	PagesRead int64
+}
+
+// Stats returns the current counters.
+func (c *BufferCache) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		PagesRead: c.pagesRead.Load(),
+	}
+}
+
+// nextFileID hands out process-unique file ids for cache keying.
+var nextFileID atomic.Uint64
+
+// NewFileID returns a process-unique id for keying cached pages.
+func NewFileID() uint64 { return nextFileID.Add(1) }
+
+type corruptError string
+
+func errCorrupt(what string) error { return corruptError(what) }
+
+func (e corruptError) Error() string { return "storage: corrupt component: " + string(e) }

@@ -1,0 +1,537 @@
+package storage
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// An on-disk component: an immutable sorted run of (key, value) entries
+// — the disk half of an LSM B+-tree. Layout:
+//
+//	[data pages][page index][bloom filter][footer]
+//
+// Data pages are variable-length regions of roughly the configured page
+// size; each starts with a uint16 entry count followed by packed
+// entries (uvarint keyLen, key, uvarint valLen, value). An entry larger
+// than a page gets a page of its own. The page index holds each page's
+// offset, length, and first key and is resident in memory once the
+// component is open (fence keys); data pages are read through the
+// node's BufferCache.
+
+const (
+	componentMagic   = 0x53494d44422d4331 // "SIMDB-C1"
+	footerSize       = 8 + 4 + 8 + 8 + 8 + 8
+	componentVersion = 1
+)
+
+// ComponentWriter builds a component file. Add must be called with
+// strictly increasing keys.
+type ComponentWriter struct {
+	f        *os.File
+	w        *bufio.Writer
+	path     string
+	pageSize int
+
+	cur     []byte // current page payload (after the count header)
+	curN    int    // entries in current page
+	pages   []pageMeta
+	off     int64
+	lastKey []byte
+	n       int64
+	keys    [][]byte // retained only to size the bloom filter accurately
+	err     error
+}
+
+type pageMeta struct {
+	off      int64
+	length   int32
+	firstKey []byte
+}
+
+// NewComponentWriter creates the file at path (truncating any previous
+// content) and returns a writer with the given target page size.
+func NewComponentWriter(path string, pageSize int) (*ComponentWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: create component: %w", err)
+	}
+	return &ComponentWriter{
+		f:        f,
+		w:        bufio.NewWriterSize(f, 1<<16),
+		path:     path,
+		pageSize: pageSize,
+	}, nil
+}
+
+// Add appends an entry. Keys must be strictly increasing.
+func (cw *ComponentWriter) Add(key, value []byte) error {
+	if cw.err != nil {
+		return cw.err
+	}
+	if cw.lastKey != nil && bytes.Compare(key, cw.lastKey) <= 0 {
+		cw.err = fmt.Errorf("storage: component keys out of order: %q after %q", key, cw.lastKey)
+		return cw.err
+	}
+	entrySize := uvarintSize(uint64(len(key))) + len(key) + uvarintSize(uint64(len(value))) + len(value)
+	if cw.curN > 0 && 2+len(cw.cur)+entrySize > cw.pageSize {
+		cw.flushPage()
+	}
+	if cw.curN == 0 {
+		cw.pages = append(cw.pages, pageMeta{off: cw.off, firstKey: append([]byte(nil), key...)})
+	}
+	cw.cur = binary.AppendUvarint(cw.cur, uint64(len(key)))
+	cw.cur = append(cw.cur, key...)
+	cw.cur = binary.AppendUvarint(cw.cur, uint64(len(value)))
+	cw.cur = append(cw.cur, value...)
+	cw.curN++
+	cw.n++
+	cw.lastKey = append(cw.lastKey[:0], key...)
+	cw.keys = append(cw.keys, append([]byte(nil), key...))
+	return nil
+}
+
+func (cw *ComponentWriter) flushPage() {
+	if cw.curN == 0 {
+		return
+	}
+	var hdr [2]byte
+	binary.LittleEndian.PutUint16(hdr[:], uint16(cw.curN))
+	cw.write(hdr[:])
+	cw.write(cw.cur)
+	p := &cw.pages[len(cw.pages)-1]
+	p.length = int32(2 + len(cw.cur))
+	cw.off += int64(2 + len(cw.cur))
+	cw.cur = cw.cur[:0]
+	cw.curN = 0
+}
+
+func (cw *ComponentWriter) write(b []byte) {
+	if cw.err != nil {
+		return
+	}
+	if _, err := cw.w.Write(b); err != nil {
+		cw.err = err
+	}
+}
+
+// Finish flushes the final page, writes the page index, bloom filter,
+// and footer, and closes the file. The writer is unusable afterwards.
+func (cw *ComponentWriter) Finish() error {
+	if cw.err != nil {
+		cw.f.Close()
+		return cw.err
+	}
+	cw.flushPage()
+	indexOff := cw.off
+	var idx []byte
+	idx = binary.AppendUvarint(idx, uint64(len(cw.pages)))
+	for _, p := range cw.pages {
+		idx = binary.AppendUvarint(idx, uint64(p.off))
+		idx = binary.AppendUvarint(idx, uint64(p.length))
+		idx = binary.AppendUvarint(idx, uint64(len(p.firstKey)))
+		idx = append(idx, p.firstKey...)
+	}
+	cw.write(idx)
+	cw.off += int64(len(idx))
+
+	bloomOff := cw.off
+	bloom := NewBloomBuilder(len(cw.keys))
+	for _, k := range cw.keys {
+		bloom.Add(k)
+	}
+	bl := bloom.marshal(nil)
+	cw.write(bl)
+	cw.off += int64(len(bl))
+
+	var footer [footerSize]byte
+	binary.LittleEndian.PutUint64(footer[0:], componentMagic)
+	binary.LittleEndian.PutUint32(footer[8:], componentVersion)
+	binary.LittleEndian.PutUint64(footer[12:], uint64(cw.n))
+	binary.LittleEndian.PutUint64(footer[20:], uint64(indexOff))
+	binary.LittleEndian.PutUint64(footer[28:], uint64(bloomOff))
+	binary.LittleEndian.PutUint64(footer[36:], uint64(cw.off)+footerSize)
+	cw.write(footer[:])
+	if cw.err != nil {
+		cw.f.Close()
+		return cw.err
+	}
+	if err := cw.w.Flush(); err != nil {
+		cw.f.Close()
+		return err
+	}
+	if err := cw.f.Sync(); err != nil {
+		cw.f.Close()
+		return err
+	}
+	return cw.f.Close()
+}
+
+// Abort closes and removes the partially written file.
+func (cw *ComponentWriter) Abort() {
+	cw.f.Close()
+	os.Remove(cw.path)
+}
+
+func uvarintSize(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// Component is an open, immutable on-disk sorted run.
+type Component struct {
+	f      *os.File
+	path   string
+	fileID uint64
+	cache  *BufferCache
+	pages  []pageMeta
+	bloom  *Bloom
+	n      int64
+	size   int64
+}
+
+// OpenComponent opens a component file for reading through cache.
+func OpenComponent(path string, cache *BufferCache) (*Component, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open component: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() < footerSize {
+		f.Close()
+		return nil, errCorrupt("file shorter than footer")
+	}
+	var footer [footerSize]byte
+	if _, err := f.ReadAt(footer[:], st.Size()-footerSize); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if binary.LittleEndian.Uint64(footer[0:]) != componentMagic {
+		f.Close()
+		return nil, errCorrupt("bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(footer[8:]); v != componentVersion {
+		f.Close()
+		return nil, errCorrupt(fmt.Sprintf("unsupported version %d", v))
+	}
+	n := int64(binary.LittleEndian.Uint64(footer[12:]))
+	indexOff := int64(binary.LittleEndian.Uint64(footer[20:]))
+	bloomOff := int64(binary.LittleEndian.Uint64(footer[28:]))
+	total := int64(binary.LittleEndian.Uint64(footer[36:]))
+	if total != st.Size() || indexOff > bloomOff || bloomOff > st.Size()-footerSize {
+		f.Close()
+		return nil, errCorrupt("inconsistent footer offsets")
+	}
+
+	idxBuf := make([]byte, bloomOff-indexOff)
+	if _, err := f.ReadAt(idxBuf, indexOff); err != nil {
+		f.Close()
+		return nil, err
+	}
+	pages, err := parsePageIndex(idxBuf)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	blBuf := make([]byte, st.Size()-footerSize-bloomOff)
+	if _, err := f.ReadAt(blBuf, bloomOff); err != nil {
+		f.Close()
+		return nil, err
+	}
+	bloom, err := unmarshalBloom(blBuf)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Component{
+		f:      f,
+		path:   path,
+		fileID: NewFileID(),
+		cache:  cache,
+		pages:  pages,
+		bloom:  bloom,
+		n:      n,
+		size:   st.Size(),
+	}, nil
+}
+
+func parsePageIndex(buf []byte) ([]pageMeta, error) {
+	count, p := binary.Uvarint(buf)
+	if p <= 0 {
+		return nil, errCorrupt("page index count")
+	}
+	pages := make([]pageMeta, 0, count)
+	for i := uint64(0); i < count; i++ {
+		off, n := binary.Uvarint(buf[p:])
+		if n <= 0 {
+			return nil, errCorrupt("page offset")
+		}
+		p += n
+		length, n := binary.Uvarint(buf[p:])
+		if n <= 0 {
+			return nil, errCorrupt("page length")
+		}
+		p += n
+		kl, n := binary.Uvarint(buf[p:])
+		if n <= 0 || uint64(len(buf)-p-n) < kl {
+			return nil, errCorrupt("page first key")
+		}
+		p += n
+		key := make([]byte, kl)
+		copy(key, buf[p:p+int(kl)])
+		p += int(kl)
+		pages = append(pages, pageMeta{off: int64(off), length: int32(length), firstKey: key})
+	}
+	return pages, nil
+}
+
+// Close releases the file and evicts its cached pages.
+func (c *Component) Close() error {
+	c.cache.Evict(c.fileID)
+	return c.f.Close()
+}
+
+// Remove closes the component and deletes its file.
+func (c *Component) Remove() error {
+	if err := c.Close(); err != nil {
+		return err
+	}
+	return os.Remove(c.path)
+}
+
+// Path returns the component's file path.
+func (c *Component) Path() string { return c.path }
+
+// Len returns the number of entries.
+func (c *Component) Len() int64 { return c.n }
+
+// SizeBytes returns the on-disk file size.
+func (c *Component) SizeBytes() int64 { return c.size }
+
+// MayContain consults the bloom filter.
+func (c *Component) MayContain(key []byte) bool { return c.bloom.MayContain(key) }
+
+// findPage returns the index of the page that could contain key, or -1.
+func (c *Component) findPage(key []byte) int {
+	// First page with firstKey > key, minus one.
+	i := sort.Search(len(c.pages), func(i int) bool {
+		return bytes.Compare(c.pages[i].firstKey, key) > 0
+	})
+	return i - 1
+}
+
+func (c *Component) readPage(i int) ([]byte, error) {
+	p := c.pages[i]
+	return c.cache.ReadRegion(c.fileID, c.f, uint32(i), p.off, int(p.length))
+}
+
+// Get returns the value stored for key, a boolean for presence, or an
+// error. It consults the bloom filter first.
+func (c *Component) Get(key []byte) ([]byte, bool, error) {
+	if !c.bloom.MayContain(key) {
+		return nil, false, nil
+	}
+	i := c.findPage(key)
+	if i < 0 {
+		return nil, false, nil
+	}
+	page, err := c.readPage(i)
+	if err != nil {
+		return nil, false, err
+	}
+	it := pageIter{page: page}
+	if err := it.init(); err != nil {
+		return nil, false, err
+	}
+	for it.next() {
+		switch bytes.Compare(it.key, key) {
+		case 0:
+			return it.val, true, nil
+		case 1:
+			return nil, false, nil
+		}
+	}
+	return nil, false, it.err
+}
+
+// pageIter walks the entries of a single data page.
+type pageIter struct {
+	page []byte
+	pos  int
+	left int
+	key  []byte
+	val  []byte
+	err  error
+}
+
+func (it *pageIter) init() error {
+	if len(it.page) < 2 {
+		return errCorrupt("short page")
+	}
+	it.left = int(binary.LittleEndian.Uint16(it.page))
+	it.pos = 2
+	return nil
+}
+
+func (it *pageIter) next() bool {
+	if it.left == 0 || it.err != nil {
+		return false
+	}
+	kl, n := binary.Uvarint(it.page[it.pos:])
+	if n <= 0 {
+		it.err = errCorrupt("entry key length")
+		return false
+	}
+	it.pos += n
+	if it.pos+int(kl) > len(it.page) {
+		it.err = errCorrupt("entry key")
+		return false
+	}
+	it.key = it.page[it.pos : it.pos+int(kl)]
+	it.pos += int(kl)
+	vl, n := binary.Uvarint(it.page[it.pos:])
+	if n <= 0 {
+		it.err = errCorrupt("entry value length")
+		return false
+	}
+	it.pos += n
+	if it.pos+int(vl) > len(it.page) {
+		it.err = errCorrupt("entry value")
+		return false
+	}
+	it.val = it.page[it.pos : it.pos+int(vl)]
+	it.pos += int(vl)
+	it.left--
+	return true
+}
+
+// Iterator iterates entries with key in [start, end) in key order. A
+// nil start begins at the first key; a nil end runs to the last.
+type Iterator struct {
+	c       *Component
+	pageIdx int
+	it      pageIter
+	end     []byte
+	key     []byte
+	val     []byte
+	err     error
+	done    bool
+	pending bool // a row was buffered by the initial seek
+}
+
+// NewIterator returns an iterator positioned before the first entry >=
+// start.
+func (c *Component) NewIterator(start, end []byte) *Iterator {
+	it := &Iterator{c: c, end: end}
+	if len(c.pages) == 0 {
+		it.done = true
+		return it
+	}
+	idx := 0
+	if start != nil {
+		idx = c.findPage(start)
+		if idx < 0 {
+			idx = 0
+		}
+	}
+	it.pageIdx = idx
+	if err := it.loadPage(); err != nil {
+		it.err = err
+		it.done = true
+		return it
+	}
+	if start != nil {
+		// Skip entries before start within the page.
+		for it.it.next() {
+			if bytes.Compare(it.it.key, start) >= 0 {
+				it.key, it.val = it.it.key, it.it.val
+				it.pending = true
+				return it
+			}
+		}
+		if it.it.err != nil {
+			it.err = it.it.err
+			it.done = true
+			return it
+		}
+		// start was past this page; advance pages.
+		it.pageIdx++
+		if err := it.loadPage(); err != nil {
+			it.err = err
+			it.done = true
+		}
+	}
+	return it
+}
+
+func (it *Iterator) loadPage() error {
+	if it.pageIdx >= len(it.c.pages) {
+		it.done = true
+		return nil
+	}
+	page, err := it.c.readPage(it.pageIdx)
+	if err != nil {
+		return err
+	}
+	it.it = pageIter{page: page}
+	return it.it.init()
+}
+
+// Next advances to the next entry, returning false at the end or on
+// error.
+func (it *Iterator) Next() bool {
+	if it.done || it.err != nil {
+		return false
+	}
+	if it.pending {
+		it.pending = false
+		return it.checkEnd()
+	}
+	for {
+		if it.it.next() {
+			it.key, it.val = it.it.key, it.it.val
+			return it.checkEnd()
+		}
+		if it.it.err != nil {
+			it.err = it.it.err
+			return false
+		}
+		it.pageIdx++
+		if it.pageIdx >= len(it.c.pages) {
+			it.done = true
+			return false
+		}
+		if err := it.loadPage(); err != nil {
+			it.err = err
+			return false
+		}
+	}
+}
+
+func (it *Iterator) checkEnd() bool {
+	if it.end != nil && bytes.Compare(it.key, it.end) >= 0 {
+		it.done = true
+		return false
+	}
+	return true
+}
+
+// Key returns the current key; valid until the next call to Next.
+func (it *Iterator) Key() []byte { return it.key }
+
+// Value returns the current value; valid until the next call to Next.
+func (it *Iterator) Value() []byte { return it.val }
+
+// Err returns the first error the iterator encountered, if any.
+func (it *Iterator) Err() error { return it.err }

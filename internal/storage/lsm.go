@@ -1,0 +1,481 @@
+// Package storage implements SimDB's per-partition storage: LSM
+// B+-trees made of an in-memory memtable plus immutable on-disk sorted
+// components with bloom filters and fence keys, read through a
+// node-wide LRU buffer cache. Primary indexes and secondary inverted
+// indexes both sit on this substrate, as in AsterixDB ("partitioned
+// LSM-based B+-trees with optional LSM-based secondary indexes").
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// LSMOptions configures an LSM tree.
+type LSMOptions struct {
+	// PageSize is the target data-page size of on-disk components.
+	PageSize int
+	// MemBudgetBytes flushes the memtable once its footprint exceeds
+	// this many bytes.
+	MemBudgetBytes int64
+	// MaxComponents triggers a full merge (size-tiered compaction)
+	// when the number of disk components exceeds it.
+	MaxComponents int
+	// Cache is the node's shared buffer cache. Required.
+	Cache *BufferCache
+}
+
+func (o *LSMOptions) withDefaults() LSMOptions {
+	out := *o
+	if out.PageSize <= 0 {
+		out.PageSize = 32 << 10
+	}
+	if out.MemBudgetBytes <= 0 {
+		out.MemBudgetBytes = 8 << 20
+	}
+	if out.MaxComponents <= 0 {
+		out.MaxComponents = 8
+	}
+	if out.Cache == nil {
+		out.Cache = NewBufferCache(32<<20, out.PageSize)
+	}
+	return out
+}
+
+// LSMTree is a single partition's LSM B+-tree over byte keys and
+// values. It is safe for concurrent use; writes take an exclusive
+// lock, reads a shared one.
+type LSMTree struct {
+	dir  string
+	opts LSMOptions
+
+	mu         sync.RWMutex
+	mem        *memtable
+	components []*Component // newest first
+	nextSeq    uint64
+}
+
+// OpenLSM opens (or creates) the LSM tree stored in dir. Existing
+// components named c<seq>.cmp are recovered in recency order.
+func OpenLSM(dir string, opts LSMOptions) (*LSMTree, error) {
+	o := opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: open lsm: %w", err)
+	}
+	t := &LSMTree{dir: dir, opts: o, mem: newMemtable(), nextSeq: 1}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type seqPath struct {
+		seq  uint64
+		path string
+	}
+	var found []seqPath
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "c") || !strings.HasSuffix(name, ".cmp") {
+			continue
+		}
+		seq, err := strconv.ParseUint(name[1:len(name)-4], 10, 64)
+		if err != nil {
+			continue
+		}
+		found = append(found, seqPath{seq, filepath.Join(dir, name)})
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].seq > found[j].seq }) // newest first
+	for _, sp := range found {
+		c, err := OpenComponent(sp.path, o.Cache)
+		if err != nil {
+			t.closeComponents()
+			return nil, fmt.Errorf("storage: recover %s: %w", sp.path, err)
+		}
+		t.components = append(t.components, c)
+		if sp.seq >= t.nextSeq {
+			t.nextSeq = sp.seq + 1
+		}
+	}
+	return t, nil
+}
+
+func (t *LSMTree) closeComponents() {
+	for _, c := range t.components {
+		c.Close()
+	}
+	t.components = nil
+}
+
+// Close flushes the memtable and closes all components.
+func (t *LSMTree) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.flushLocked(); err != nil {
+		return err
+	}
+	t.closeComponents()
+	return nil
+}
+
+// Put inserts or replaces a key, flushing if the memtable exceeds its
+// budget.
+func (t *LSMTree) Put(key, value []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.mem.put(key, value)
+	return t.maybeFlushLocked()
+}
+
+// Delete removes a key (writes a tombstone).
+func (t *LSMTree) Delete(key []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.mem.del(key)
+	return t.maybeFlushLocked()
+}
+
+func (t *LSMTree) maybeFlushLocked() error {
+	if t.mem.sizeBytes() < t.opts.MemBudgetBytes {
+		return nil
+	}
+	if err := t.flushLocked(); err != nil {
+		return err
+	}
+	if len(t.components) > t.opts.MaxComponents {
+		return t.mergeLocked()
+	}
+	return nil
+}
+
+// Flush forces the memtable to disk.
+func (t *LSMTree) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.flushLocked()
+}
+
+func (t *LSMTree) flushLocked() error {
+	if t.mem.len() == 0 {
+		return nil
+	}
+	path := filepath.Join(t.dir, fmt.Sprintf("c%d.cmp", t.nextSeq))
+	cw, err := NewComponentWriter(path, t.opts.PageSize)
+	if err != nil {
+		return err
+	}
+	for _, k := range t.mem.sortedKeys(nil, nil) {
+		e := t.mem.entries[k]
+		if err := cw.Add([]byte(k), encodeEntry(e)); err != nil {
+			cw.Abort()
+			return err
+		}
+	}
+	if err := cw.Finish(); err != nil {
+		return err
+	}
+	c, err := OpenComponent(path, t.opts.Cache)
+	if err != nil {
+		return err
+	}
+	t.components = append([]*Component{c}, t.components...)
+	t.nextSeq++
+	t.mem = newMemtable()
+	return nil
+}
+
+// encodeEntry prefixes a component value with a tombstone flag byte.
+func encodeEntry(e memEntry) []byte {
+	out := make([]byte, 1+len(e.value))
+	if e.tombstone {
+		out[0] = 1
+	}
+	copy(out[1:], e.value)
+	return out
+}
+
+func decodeEntry(v []byte) (value []byte, tombstone bool) {
+	if len(v) == 0 {
+		return nil, true
+	}
+	return v[1:], v[0] == 1
+}
+
+// mergeLocked merges every disk component into one (size-tiered full
+// merge), dropping tombstones and shadowed versions.
+func (t *LSMTree) mergeLocked() error {
+	if len(t.components) <= 1 {
+		return nil
+	}
+	path := filepath.Join(t.dir, fmt.Sprintf("c%d.cmp", t.nextSeq))
+	cw, err := NewComponentWriter(path, t.opts.PageSize)
+	if err != nil {
+		return err
+	}
+	iters := make([]*Iterator, len(t.components))
+	for i, c := range t.components {
+		iters[i] = c.NewIterator(nil, nil)
+	}
+	merge := newMergeIter(iters)
+	for merge.next() {
+		if _, dead := decodeEntry(merge.val); dead {
+			continue // tombstone: fully merged, so drop it
+		}
+		if err := cw.Add(merge.key, merge.val); err != nil {
+			cw.Abort()
+			return err
+		}
+	}
+	if merge.err != nil {
+		cw.Abort()
+		return merge.err
+	}
+	if err := cw.Finish(); err != nil {
+		return err
+	}
+	c, err := OpenComponent(path, t.opts.Cache)
+	if err != nil {
+		return err
+	}
+	old := t.components
+	t.components = []*Component{c}
+	t.nextSeq++
+	for _, oc := range old {
+		if err := oc.Remove(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Merge forces a full compaction of the disk components.
+func (t *LSMTree) Merge() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.flushLocked(); err != nil {
+		return err
+	}
+	return t.mergeLocked()
+}
+
+// mergeIter merges component iterators newest-first: on equal keys the
+// lower-indexed (newer) iterator wins and older duplicates are skipped.
+type mergeIter struct {
+	iters []*Iterator
+	valid []bool
+	key   []byte
+	val   []byte
+	err   error
+}
+
+func newMergeIter(iters []*Iterator) *mergeIter {
+	m := &mergeIter{iters: iters, valid: make([]bool, len(iters))}
+	for i, it := range iters {
+		m.valid[i] = it.Next()
+		if it.Err() != nil {
+			m.err = it.Err()
+		}
+	}
+	return m
+}
+
+func (m *mergeIter) next() bool {
+	if m.err != nil {
+		return false
+	}
+	best := -1
+	for i, ok := range m.valid {
+		if !ok {
+			continue
+		}
+		if best < 0 || bytes.Compare(m.iters[i].Key(), m.iters[best].Key()) < 0 {
+			best = i
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	m.key = append(m.key[:0], m.iters[best].Key()...)
+	m.val = append(m.val[:0], m.iters[best].Value()...)
+	// Advance the winner and any older iterator positioned on the same key.
+	for i := range m.iters {
+		if !m.valid[i] {
+			continue
+		}
+		if i == best || bytes.Equal(m.iters[i].Key(), m.key) {
+			m.valid[i] = m.iters[i].Next()
+			if err := m.iters[i].Err(); err != nil {
+				m.err = err
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Get returns the newest value for key, consulting the memtable first
+// and then disk components newest-first through their bloom filters.
+func (t *LSMTree) Get(key []byte) ([]byte, bool, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if v, dead, ok := t.mem.get(key); ok {
+		if dead {
+			return nil, false, nil
+		}
+		return v, true, nil
+	}
+	for _, c := range t.components {
+		v, ok, err := c.Get(key)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			val, dead := decodeEntry(v)
+			if dead {
+				return nil, false, nil
+			}
+			return val, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// Scan calls fn for each live (key, value) with key in [start, end) in
+// key order, merging the memtable and all components. fn must not
+// retain its arguments. Iteration stops early if fn returns false.
+func (t *LSMTree) Scan(start, end []byte, fn func(key, value []byte) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+
+	iters := make([]*Iterator, len(t.components))
+	for i, c := range t.components {
+		iters[i] = c.NewIterator(start, end)
+	}
+	merge := newMergeIter(iters)
+	diskValid := merge.next()
+
+	memKeys := t.mem.sortedKeys(start, end)
+	mi := 0
+
+	for {
+		var useMem bool
+		switch {
+		case mi < len(memKeys) && diskValid:
+			c := bytes.Compare([]byte(memKeys[mi]), merge.key)
+			useMem = c <= 0
+			if c == 0 {
+				// Memtable shadows disk: skip the disk version.
+				diskValid = merge.next()
+			}
+		case mi < len(memKeys):
+			useMem = true
+		case diskValid:
+			useMem = false
+		default:
+			return merge.err
+		}
+		if useMem {
+			k := memKeys[mi]
+			e := t.mem.entries[k]
+			mi++
+			if e.tombstone {
+				continue
+			}
+			if !fn([]byte(k), e.value) {
+				return nil
+			}
+		} else {
+			val, dead := decodeEntry(merge.val)
+			k := merge.key
+			if !dead {
+				if !fn(k, val) {
+					return nil
+				}
+			}
+			diskValid = merge.next()
+		}
+	}
+}
+
+// BulkLoad streams pre-sorted entries directly into a single on-disk
+// component, bypassing the memtable — the fast path dataset and index
+// builds use (AsterixDB bulk-loads secondary indexes the same way).
+// next must yield strictly increasing keys and return ok=false at the
+// end. The tree must be empty.
+func (t *LSMTree) BulkLoad(next func() (key, value []byte, ok bool, err error)) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.mem.len() != 0 || len(t.components) != 0 {
+		return fmt.Errorf("storage: bulk load into non-empty tree")
+	}
+	path := filepath.Join(t.dir, fmt.Sprintf("c%d.cmp", t.nextSeq))
+	cw, err := NewComponentWriter(path, t.opts.PageSize)
+	if err != nil {
+		return err
+	}
+	n := 0
+	for {
+		k, v, ok, err := next()
+		if err != nil {
+			cw.Abort()
+			return err
+		}
+		if !ok {
+			break
+		}
+		entry := make([]byte, 1+len(v))
+		copy(entry[1:], v)
+		if err := cw.Add(k, entry); err != nil {
+			cw.Abort()
+			return err
+		}
+		n++
+	}
+	if n == 0 {
+		cw.Abort()
+		return nil
+	}
+	if err := cw.Finish(); err != nil {
+		return err
+	}
+	c, err := OpenComponent(path, t.opts.Cache)
+	if err != nil {
+		return err
+	}
+	t.components = []*Component{c}
+	t.nextSeq++
+	return nil
+}
+
+// Stats describes the tree's current shape.
+type Stats struct {
+	MemEntries     int
+	MemBytes       int64
+	DiskComponents int
+	DiskEntries    int64
+	DiskBytes      int64
+}
+
+// Stats returns a snapshot of the tree's shape and footprint; Table 5's
+// index sizes come from DiskBytes.
+func (t *LSMTree) Stats() Stats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	s := Stats{MemEntries: t.mem.len(), MemBytes: t.mem.sizeBytes(), DiskComponents: len(t.components)}
+	for _, c := range t.components {
+		s.DiskEntries += c.Len()
+		s.DiskBytes += c.SizeBytes()
+	}
+	return s
+}
+
+// Len returns the approximate number of live entries (disk entries may
+// include shadowed versions until a merge).
+func (t *LSMTree) Len() int64 {
+	s := t.Stats()
+	return int64(s.MemEntries) + s.DiskEntries
+}

@@ -1,0 +1,81 @@
+package storage
+
+import (
+	"bytes"
+	"sort"
+)
+
+// memtable is the in-memory component of an LSM tree: a hash map for
+// O(1) upserts and point reads, sorted lazily when flushed or scanned.
+// A nil entry value is a tombstone. The memtable tracks its approximate
+// byte footprint so the tree can flush when it exceeds the in-memory
+// component budget (Table 2: "Budget for in-memory components").
+type memtable struct {
+	entries map[string]memEntry
+	bytes   int64
+}
+
+type memEntry struct {
+	value     []byte
+	tombstone bool
+}
+
+func newMemtable() *memtable {
+	return &memtable{entries: make(map[string]memEntry)}
+}
+
+// put inserts or replaces a key.
+func (m *memtable) put(key, value []byte) {
+	k := string(key)
+	if old, ok := m.entries[k]; ok {
+		m.bytes -= int64(len(old.value))
+	} else {
+		m.bytes += int64(len(k)) + 32
+	}
+	v := make([]byte, len(value))
+	copy(v, value)
+	m.entries[k] = memEntry{value: v}
+	m.bytes += int64(len(v))
+}
+
+// del records a tombstone for the key.
+func (m *memtable) del(key []byte) {
+	k := string(key)
+	if old, ok := m.entries[k]; ok {
+		m.bytes -= int64(len(old.value))
+	} else {
+		m.bytes += int64(len(k)) + 32
+	}
+	m.entries[k] = memEntry{tombstone: true}
+}
+
+// get returns (value, tombstone, present).
+func (m *memtable) get(key []byte) ([]byte, bool, bool) {
+	e, ok := m.entries[string(key)]
+	if !ok {
+		return nil, false, false
+	}
+	return e.value, e.tombstone, true
+}
+
+func (m *memtable) len() int { return len(m.entries) }
+
+func (m *memtable) sizeBytes() int64 { return m.bytes }
+
+// sortedKeys returns the keys in byte order, optionally restricted to
+// [start, end).
+func (m *memtable) sortedKeys(start, end []byte) []string {
+	keys := make([]string, 0, len(m.entries))
+	for k := range m.entries {
+		kb := []byte(k)
+		if start != nil && bytes.Compare(kb, start) < 0 {
+			continue
+		}
+		if end != nil && bytes.Compare(kb, end) >= 0 {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,79 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestScanRangeMatchesModelProperty drives random workloads with
+// random flush points, then checks arbitrary range scans against a map
+// model, via testing/quick.
+func TestScanRangeMatchesModelProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dir := t.TempDir()
+		tree, err := OpenLSM(dir, LSMOptions{MemBudgetBytes: 512, MaxComponents: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tree.Close()
+		model := map[string]string{}
+		for i := 0; i < 300; i++ {
+			k := fmt.Sprintf("k%03d", r.Intn(120))
+			switch r.Intn(6) {
+			case 0:
+				delete(model, k)
+				if err := tree.Delete([]byte(k)); err != nil {
+					t.Fatal(err)
+				}
+			case 1:
+				if r.Intn(4) == 0 {
+					if err := tree.Flush(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			default:
+				v := fmt.Sprintf("v%d", i)
+				model[k] = v
+				if err := tree.Put([]byte(k), []byte(v)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		// Three random range scans.
+		for s := 0; s < 3; s++ {
+			lo := []byte(fmt.Sprintf("k%03d", r.Intn(120)))
+			hi := []byte(fmt.Sprintf("k%03d", r.Intn(120)))
+			if bytes.Compare(lo, hi) > 0 {
+				lo, hi = hi, lo
+			}
+			var got []string
+			err := tree.Scan(lo, hi, func(k, v []byte) bool {
+				got = append(got, string(k)+"="+string(v))
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want []string
+			for k, v := range model {
+				if k >= string(lo) && k < string(hi) {
+					want = append(want, k+"="+v)
+				}
+			}
+			sort.Strings(want)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Logf("seed %d scan [%s, %s): got %v want %v", seed, lo, hi, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(99))}); err != nil {
+		t.Fatal(err)
+	}
+}
