@@ -39,6 +39,7 @@ func newBenchEnv(b *testing.B) *bench.Env {
 	e.SelQueries = 3
 	e.JoinQueries = 1
 	e.Out = io.Discard
+	e.ReportDir = dir
 	b.Cleanup(func() { e.Close() })
 	return e
 }
@@ -74,6 +75,12 @@ func BenchmarkFig27Scale(b *testing.B) { runExperiment(b, "fig27") }
 
 // BenchmarkAblations runs the design-choice ablations.
 func BenchmarkAblations(b *testing.B) { runExperiment(b, "ablation") }
+
+// BenchmarkConcurrentQueryThroughput measures parallel Jaccard
+// selections at 1/4/16 clients with the plan cache off and on,
+// emitting BENCH_concurrency.json (full scale via
+// `benchrunner concurrency`).
+func BenchmarkConcurrentQueryThroughput(b *testing.B) { runExperiment(b, "concurrency") }
 
 // --- micro-benchmarks ---
 

@@ -40,6 +40,9 @@ type Env struct {
 	JoinQueries int
 	// Out receives the experiment reports.
 	Out io.Writer
+	// ReportDir receives machine-readable experiment outputs
+	// (BENCH_*.json); empty means the current directory.
+	ReportDir string
 
 	db     *core.Database
 	loaded map[datagen.Kind]int

@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"simdb/internal/datagen"
+)
+
+// ConcurrencyCell is one measured point of the concurrent-serving
+// experiment: a client count crossed with the plan cache on or off.
+type ConcurrencyCell struct {
+	Clients      int     `json:"clients"`
+	PlanCache    bool    `json:"plan_cache"`
+	Queries      int     `json:"queries"`
+	WallMs       float64 `json:"wall_ms"`
+	QPS          float64 `json:"qps"`
+	CacheHits    int64   `json:"cache_hits"`
+	AvgCompileUs float64 `json:"avg_compile_us"`
+}
+
+// ConcurrencyReport is the JSON emitted as BENCH_concurrency.json.
+type ConcurrencyReport struct {
+	Experiment string            `json:"experiment"`
+	Scale      int               `json:"scale"`
+	Nodes      int               `json:"nodes"`
+	Cells      []ConcurrencyCell `json:"cells"`
+}
+
+// Concurrency measures concurrent query throughput: parallel
+// index-backed Jaccard selections at 1, 4, and 16 clients, with the
+// compiled-plan cache disabled and enabled. It reports queries/sec per
+// cell and writes BENCH_concurrency.json under Env.ReportDir. This is
+// the serving-side experiment the paper does not run (its evaluation is
+// single-query); it exercises the snapshot-isolated storage reads, the
+// admission-controlled query manager, and the plan cache together.
+func (e *Env) Concurrency() error {
+	e.logf("\n=== Concurrency: parallel Jaccard selections, plan cache off/on ===\n")
+	if err := e.EnsureDataset(datagen.Amazon); err != nil {
+		return err
+	}
+	db, err := e.DB()
+	if err != nil {
+		return err
+	}
+	name := datasetName(datagen.Amazon)
+	jf, _, err := datagen.Fields(datagen.Amazon)
+	if err != nil {
+		return err
+	}
+	if _, err := db.Query(fmt.Sprintf("create index conc_kw on %s(%s) type keyword;", name, jf)); err != nil &&
+		!strings.Contains(err.Error(), "exists") {
+		return err
+	}
+
+	// A small pool of distinct query texts: every client cycles through
+	// it, so with the cache on, all but the first occurrence of each
+	// text is a warm hit — the repeated-workload shape a serving tier
+	// amortizes compilation over.
+	const poolSize = 8
+	pool := make([]string, poolSize)
+	for i := range pool {
+		v, err := e.sampleValue(datagen.Amazon, jf)
+		if err != nil {
+			return err
+		}
+		pool[i] = fmt.Sprintf(`count(for $r in dataset %s
+			where similarity-jaccard(word-tokens($r.%s), word-tokens('%s')) >= 0.8
+			return $r.id)`, name, jf, quoteAQL(v))
+	}
+	perClient := e.SelQueries
+	if perClient < 8 {
+		perClient = 8
+	}
+
+	// Give every cross-node frame transfer real wire time (~1 GbE
+	// latency scale). A single client pays these waits serially, so its
+	// throughput is latency-bound exactly as on a physical cluster;
+	// concurrent clients overlap them. Without this, the in-process
+	// simulator's "network" is a channel send and single-client
+	// throughput is CPU-bound — concurrency would measure only
+	// scheduler overhead.
+	db.SetSimNetLatency(300 * time.Microsecond)
+	defer db.SetSimNetLatency(0)
+
+	report := ConcurrencyReport{Experiment: "concurrency", Scale: e.Scale, Nodes: e.Nodes}
+	e.logf("%8s %10s %8s %10s %10s %12s %14s\n",
+		"clients", "plancache", "queries", "wall(ms)", "qps", "cachehits", "avgcompile(us)")
+	defer db.SetPlanCacheEnabled(true)
+	// Each cell runs best-of-3: one-shot walls on a shared host are
+	// dominated by GC debt from the previous cell and scheduler warmup,
+	// and best-of-N is the standard way to report the achievable rate.
+	const rounds = 3
+	for _, cacheOn := range []bool{false, true} {
+		for _, clients := range []int{1, 4, 16} {
+			db.SetPlanCacheEnabled(cacheOn)
+			db.Cluster().PlanCache().Clear()
+			// Untimed priming pass: warms the buffer cache in both modes
+			// and, with the plan cache on, compiles each pool entry once so
+			// the timed region measures steady-state serving.
+			for _, src := range pool {
+				if _, err := db.Query(src); err != nil {
+					return err
+				}
+			}
+			n := clients * perClient
+			var cell ConcurrencyCell
+			for round := 0; round < rounds; round++ {
+				runtime.GC()
+				var (
+					wg        sync.WaitGroup
+					compileNs atomic.Int64
+					hits      atomic.Int64
+					firstErr  atomic.Value
+				)
+				t0 := time.Now()
+				for cl := 0; cl < clients; cl++ {
+					wg.Add(1)
+					go func(cl int) {
+						defer wg.Done()
+						sess := db.NewSession() // sessions are single-goroutine
+						for q := 0; q < perClient; q++ {
+							src := pool[(cl*perClient+q)%len(pool)]
+							res, err := db.Execute(context.Background(), sess, src)
+							if err != nil {
+								firstErr.CompareAndSwap(nil, err)
+								return
+							}
+							compileNs.Add(res.Stats.ParseNs + res.Stats.TranslateNs + res.Stats.OptimizeNs)
+							if res.Stats.PlanCacheHit {
+								hits.Add(1)
+							}
+						}
+					}(cl)
+				}
+				wg.Wait()
+				wall := time.Since(t0)
+				if err, ok := firstErr.Load().(error); ok && err != nil {
+					return err
+				}
+				qps := float64(n) / wall.Seconds()
+				if round == 0 || qps > cell.QPS {
+					cell = ConcurrencyCell{
+						Clients:      clients,
+						PlanCache:    cacheOn,
+						Queries:      n,
+						WallMs:       float64(wall.Microseconds()) / 1000,
+						QPS:          qps,
+						CacheHits:    hits.Load(),
+						AvgCompileUs: float64(compileNs.Load()) / float64(n) / 1000,
+					}
+				}
+			}
+			report.Cells = append(report.Cells, cell)
+			e.logf("%8d %10v %8d %10.1f %10.1f %12d %14.1f\n",
+				cell.Clients, cell.PlanCache, cell.Queries, cell.WallMs, cell.QPS,
+				cell.CacheHits, cell.AvgCompileUs)
+		}
+	}
+
+	dir := e.ReportDir
+	if dir == "" {
+		dir = "."
+	}
+	path := filepath.Join(dir, "BENCH_concurrency.json")
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	e.logf("wrote %s\n", path)
+	return nil
+}

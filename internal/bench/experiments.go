@@ -32,6 +32,7 @@ func (e *Env) Run(name string) error {
 		{"fig25b", e.Fig25b},
 		{"fig27", e.Fig27},
 		{"ablation", e.Ablations},
+		{"concurrency", e.Concurrency},
 	}
 	if name == "all" {
 		for _, x := range exps {

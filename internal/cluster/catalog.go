@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"simdb/internal/aqlp"
 	"simdb/internal/optimizer"
@@ -20,12 +21,24 @@ type DatasetMeta struct {
 // Catalog is the metadata store: dataverses, datasets, secondary
 // indexes, and AQL UDFs. It satisfies both the translator's and the
 // optimizer's catalog interfaces.
+//
+// Every DDL mutation bumps a monotonically increasing epoch; the
+// compiled-plan cache keys entries by the epoch they were compiled
+// under, so any catalog change (a new index, a dropped dataset, a
+// redefined UDF) invalidates every cached plan.
 type Catalog struct {
+	epoch      atomic.Uint64
 	mu         sync.RWMutex
 	dataverses map[string]bool
 	datasets   map[string]*DatasetMeta // key: dv + "." + name
 	funcs      map[string]aqlp.FuncDef
 }
+
+// Epoch returns the current DDL epoch.
+func (c *Catalog) Epoch() uint64 { return c.epoch.Load() }
+
+// bumpEpoch invalidates every plan compiled before this moment.
+func (c *Catalog) bumpEpoch() { c.epoch.Add(1) }
 
 // NewCatalog returns a catalog preloaded with the Default dataverse.
 func NewCatalog() *Catalog {
@@ -46,6 +59,7 @@ func (c *Catalog) CreateDataverse(name string) error {
 		return fmt.Errorf("catalog: dataverse %q exists", name)
 	}
 	c.dataverses[name] = true
+	c.bumpEpoch()
 	return nil
 }
 
@@ -69,6 +83,7 @@ func (c *Catalog) CreateDataset(dv, name, pkField string, autoPK bool) (*Dataset
 	}
 	meta := &DatasetMeta{Dataverse: dv, Name: name, PKField: pkField, AutoPK: autoPK}
 	c.datasets[key] = meta
+	c.bumpEpoch()
 	return meta, nil
 }
 
@@ -82,6 +97,7 @@ func (c *Catalog) DropDataset(dv, name string) (*DatasetMeta, error) {
 		return nil, fmt.Errorf("catalog: unknown dataset %q", name)
 	}
 	delete(c.datasets, key)
+	c.bumpEpoch()
 	return meta, nil
 }
 
@@ -107,6 +123,7 @@ func (c *Catalog) AddIndex(dv, dataset string, ix optimizer.IndexMeta) error {
 		}
 	}
 	meta.Indexes = append(meta.Indexes, ix)
+	c.bumpEpoch()
 	return nil
 }
 
@@ -115,6 +132,7 @@ func (c *Catalog) SetFunc(name string, def aqlp.FuncDef) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.funcs[name] = def
+	c.bumpEpoch()
 }
 
 // Funcs returns a copy of the UDF map for a translator.

@@ -3,7 +3,9 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"simdb/internal/adm"
 	"simdb/internal/invindex"
@@ -19,7 +21,19 @@ type Cluster struct {
 	Catalog *Catalog
 	nodes   []*NodeController
 
-	autoPK atomic.Int64
+	autoPK    atomic.Int64
+	tOccAlgo  atomic.Int32
+	simNetLat atomic.Int64 // nanoseconds of simulated cross-node frame latency
+
+	planCache *PlanCache
+	qm        *QueryManager
+
+	// ddlMu serializes structural DDL against writers: Insert holds the
+	// read side so the catalog view it acts on (which indexes exist)
+	// cannot change mid-insert, and create index holds the write side
+	// across register+build so the bulk build never races an insert into
+	// a half-built index.
+	ddlMu sync.RWMutex
 }
 
 // New creates a cluster with fresh node storage under cfg.DataDir.
@@ -28,7 +42,16 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.DataDir == "" {
 		return nil, fmt.Errorf("cluster: DataDir is required")
 	}
-	c := &Cluster{cfg: cfg, Catalog: NewCatalog()}
+	c := &Cluster{
+		cfg:       cfg,
+		Catalog:   NewCatalog(),
+		planCache: NewPlanCache(cfg.PlanCacheSize),
+		qm:        newQueryManager(cfg.MaxConcurrentQueries, cfg.QueryTimeout),
+	}
+	c.tOccAlgo.Store(int32(cfg.TOccurrenceAlgorithm))
+	if cfg.PlanCacheSize < 0 {
+		c.planCache.SetEnabled(false)
+	}
 	for i := 0; i < cfg.NumNodes; i++ {
 		n, err := newNodeController(i, cfg)
 		if err != nil {
@@ -58,10 +81,31 @@ func (c *Cluster) Close() error {
 func (c *Cluster) Config() Config { return c.cfg }
 
 // SetTOccurrenceAlgorithm switches the inverted-index merge algorithm
-// at run time (used by the T-occurrence ablation).
+// at run time (used by the T-occurrence ablation). Safe to call while
+// queries are executing.
 func (c *Cluster) SetTOccurrenceAlgorithm(a invindex.Algorithm) {
-	c.cfg.TOccurrenceAlgorithm = a
+	c.tOccAlgo.Store(int32(a))
 }
+
+// tOccurrenceAlgorithm reads the current merge algorithm.
+func (c *Cluster) tOccurrenceAlgorithm() invindex.Algorithm {
+	return invindex.Algorithm(c.tOccAlgo.Load())
+}
+
+// SetSimNetLatency sets the real time each cross-node frame transfer
+// occupies during execution (0, the default, keeps transfers
+// instantaneous and leaves network cost to the post-hoc model). The
+// concurrent-serving experiment uses it so per-query latency has a
+// network component that concurrent queries genuinely overlap.
+func (c *Cluster) SetSimNetLatency(d time.Duration) {
+	c.simNetLat.Store(int64(d))
+}
+
+// PlanCache exposes the compiled-plan cache (stats, runtime toggling).
+func (c *Cluster) PlanCache() *PlanCache { return c.planCache }
+
+// QueryManager exposes the admission controller's counters.
+func (c *Cluster) QueryManager() *QueryManager { return c.qm }
 
 // Nodes returns the node controllers (read-only use).
 func (c *Cluster) Nodes() []*NodeController { return c.nodes }
@@ -77,8 +121,13 @@ func (c *Cluster) partitionOfPK(pk adm.Value) int {
 }
 
 // Insert adds one record to a dataset, maintaining every secondary
-// index. Records are hash-partitioned on the primary key.
+// index. Records are hash-partitioned on the primary key. Insert is
+// safe to call concurrently with queries and with other inserts; it
+// briefly excludes structural DDL (create index / drop dataset) so the
+// set of indexes it maintains matches the catalog entry it read.
 func (c *Cluster) Insert(dv, ds string, rec adm.Value) error {
+	c.ddlMu.RLock()
+	defer c.ddlMu.RUnlock()
 	meta, ok := c.Catalog.Dataset(dv, ds)
 	if !ok {
 		return fmt.Errorf("cluster: unknown dataset %s.%s", dv, ds)
@@ -286,6 +335,8 @@ func (c *Cluster) IndexStats(dv, ds, ixName string) (storage.Stats, error) {
 
 // DropDataset removes a dataset's storage and catalog entry.
 func (c *Cluster) DropDataset(dv, ds string) error {
+	c.ddlMu.Lock()
+	defer c.ddlMu.Unlock()
 	if _, err := c.Catalog.DropDataset(dv, ds); err != nil {
 		return err
 	}

@@ -1,0 +1,232 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"simdb/internal/adm"
+	"simdb/internal/optimizer"
+)
+
+func TestQueryManagerAdmission(t *testing.T) {
+	qm := newQueryManager(2, 0)
+	ctx := context.Background()
+
+	_, rel1, _, err := qm.admit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rel2, _, err := qm.admit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := qm.Stats().Active; got != 2 {
+		t.Fatalf("active = %d, want 2", got)
+	}
+
+	// Third caller must wait; a cancelled context gives up cleanly.
+	shortCtx, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if _, _, _, err := qm.admit(shortCtx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("admit over capacity: err = %v, want deadline exceeded", err)
+	}
+	if got := qm.Stats().Rejected; got != 1 {
+		t.Fatalf("rejected = %d, want 1", got)
+	}
+
+	// Freeing a slot admits the next waiter.
+	done := make(chan struct{})
+	go func() {
+		_, rel3, waitNs, err := qm.admit(ctx)
+		if err != nil {
+			t.Error(err)
+		} else {
+			if waitNs <= 0 {
+				t.Error("expected a positive admission wait")
+			}
+			rel3(nil)
+		}
+		close(done)
+	}()
+	time.Sleep(30 * time.Millisecond)
+	rel1(nil)
+	<-done
+	rel2(errors.New("boom"))
+
+	st := qm.Stats()
+	if st.Active != 0 || st.Completed != 2 || st.Failed != 1 || st.PeakActive != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestQueryTimeoutCancelsScan(t *testing.T) {
+	c, err := New(Config{NumNodes: 1, PartitionsPerNode: 1, DataDir: t.TempDir(),
+		QueryTimeout: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// DDL paths don't consult the deadline; seed without a timeout by
+	// inserting directly.
+	if _, err := c.Catalog.CreateDataset("Default", "D", "id", false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		rec := adm.EmptyRecord(2)
+		rec.Set("id", adm.NewInt(int64(i)))
+		rec.Set("text", adm.NewString(fmt.Sprintf("row number %d", i)))
+		if err := c.Insert("Default", "D", adm.NewRecord(rec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, qerr := c.Execute(context.Background(), nil, `count(for $d in dataset D return $d)`)
+	if qerr == nil {
+		t.Skip("scan finished inside a nanosecond deadline")
+	}
+	if !errors.Is(qerr, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", qerr)
+	}
+	if st := c.QueryManager().Stats(); st.Failed == 0 {
+		t.Fatalf("timeout not counted as failure: %+v", st)
+	}
+}
+
+// TestConcurrentServingStress is the satellite end-to-end race test: N
+// query clients against M insert clients with one create index DDL
+// mid-flight, under -race. After the storm quiesces, the index path and
+// the scan path must agree, and the plan cache must not have served any
+// pre-DDL plan after the DDL (checked structurally by epoch in
+// TestPlanCacheDDLInvalidation; here the full storm runs it for real).
+func TestConcurrentServingStress(t *testing.T) {
+	c := newTestCluster(t, 2, 2)
+	setup := NewSession()
+	exec(t, c, setup, `create dataset Msgs primary key id;`)
+
+	vocab := []string{"great", "product", "fantastic", "quality", "terrible",
+		"movie", "charger", "gift", "works", "fine", "best", "ever"}
+	insertMsg := func(id int64) error {
+		rec := adm.EmptyRecord(2)
+		rec.Set("id", adm.NewInt(id))
+		text := vocab[id%int64(len(vocab))] + " " +
+			vocab[(id*7+3)%int64(len(vocab))] + " " +
+			vocab[(id*13+5)%int64(len(vocab))]
+		if id%5 == 0 {
+			// Every fifth record shares >= 2 of the probe's 3 tokens, so
+			// Jaccard("great product X", probe) >= 0.5 — these are the rows
+			// the stress query must find on both the index and scan paths.
+			text = "great product " + vocab[(id/5)%int64(len(vocab))]
+		}
+		rec.Set("text", adm.NewString(text))
+		return c.Insert("Default", "Msgs", adm.NewRecord(rec))
+	}
+	for i := int64(1); i <= 64; i++ {
+		if err := insertMsg(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const (
+		writers = 3
+		readers = 4
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var nextID atomic.Int64
+	nextID.Store(1000)
+	errCh := make(chan error, writers+readers+1)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := insertMsg(nextID.Add(1)); err != nil {
+					errCh <- fmt.Errorf("insert: %w", err)
+					return
+				}
+			}
+		}()
+	}
+	query := `for $m in dataset Msgs
+		where similarity-jaccard(word-tokens($m.text), word-tokens('great product fantastic')) >= 0.4
+		return $m.id`
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess := NewSession() // sessions are single-goroutine: one each
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := c.Execute(context.Background(), sess, query); err != nil {
+					errCh <- fmt.Errorf("query: %w", err)
+					return
+				}
+			}
+		}()
+	}
+
+	// One DDL mid-flight: the keyword index appears while queries and
+	// inserts are in progress.
+	time.Sleep(50 * time.Millisecond)
+	ddl := NewSession()
+	if _, err := c.Execute(context.Background(), ddl,
+		`create index mtext on Msgs(text) type keyword;`); err != nil {
+		t.Fatalf("mid-flight create index: %v", err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Quiesce check: index-backed results must equal scan results.
+	ixSess := NewSession()
+	ixRes := exec(t, c, ixSess, query)
+	scanOpts := optimizer.DefaultOptions()
+	scanOpts.UseIndexes = false
+	scanSess := NewSession()
+	scanSess.Opts = &scanOpts
+	scanRes := exec(t, c, scanSess, query)
+	ix, scan := rowInts(t, ixRes.Rows), rowInts(t, scanRes.Rows)
+	if len(ix) != len(scan) {
+		t.Fatalf("index path found %d rows, scan path %d", len(ix), len(scan))
+	}
+	for i := range ix {
+		if ix[i] != scan[i] {
+			t.Fatalf("index path %v != scan path %v", ix, scan)
+		}
+	}
+	if len(ix) == 0 {
+		t.Fatal("stress query matched nothing; workload is vacuous")
+	}
+	if !ixRes.Stats.PlanCacheHit && ixRes.Stats.IndexSearches == 0 {
+		t.Fatalf("post-DDL query did not use the index: %+v", ixRes.Stats)
+	}
+
+	qs := c.QueryManager().Stats()
+	if qs.Active != 0 {
+		t.Fatalf("queries still marked active after quiesce: %+v", qs)
+	}
+	if qs.Admitted != qs.Completed+qs.Failed {
+		t.Fatalf("admission accounting broken: %+v", qs)
+	}
+	if qs.Failed != 0 {
+		t.Fatalf("queries failed during the storm: %+v", qs)
+	}
+}

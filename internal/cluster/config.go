@@ -39,6 +39,14 @@ type Config struct {
 	// term (defaults approximate the paper's 1 GbE).
 	NetBandwidthMBps float64
 	NetLatencyUs     float64
+	// MaxConcurrentQueries bounds admission: at most this many queries
+	// execute at once; excess callers wait (default 64).
+	MaxConcurrentQueries int
+	// QueryTimeout caps each admitted query's execution; 0 disables.
+	QueryTimeout time.Duration
+	// PlanCacheSize bounds the compiled-plan cache (entries, LRU).
+	// 0 takes the default of 256; negative disables the cache.
+	PlanCacheSize int
 }
 
 // WithDefaults fills unset fields.

@@ -205,7 +205,7 @@ func (g *jobGen) genScan(op *algebra.Op) (*genOut, error) {
 	c := g.c
 	node := g.job.Add("DataScan("+ds+")", g.parts, hyracks.SourceFunc(
 		func(ctx *hyracks.TaskCtx, emit func(hyracks.Tuple)) error {
-			return c.scanPartition(dv, ds, pkField, ctx.Part, emit)
+			return c.scanPartition(ctx.Ctx, dv, ds, pkField, ctx.Part, emit)
 		}))
 	return &genOut{node: node, schema: []algebra.Var{op.PKVar, op.RecVar}, parts: g.parts}, nil
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 
 	"simdb/internal/adm"
@@ -443,15 +444,16 @@ func (g *jobGen) genPrimaryLookup(op *algebra.Op) (*genOut, error) {
 }
 
 // scanPartition streams one partition of a dataset as (pk, record)
-// tuples.
-func (c *Cluster) scanPartition(dv, ds, pkField string, part int, emit func(hyracks.Tuple)) error {
+// tuples. The scan reads a refcounted LSM snapshot (never blocking
+// concurrent writers) and honors ctx cancellation between batches.
+func (c *Cluster) scanPartition(ctx context.Context, dv, ds, pkField string, part int, emit func(hyracks.Tuple)) error {
 	node := c.nodeOfPartition(part)
 	tree, err := node.primary(dv, ds, part)
 	if err != nil {
 		return err
 	}
 	var scanErr error
-	err = tree.Scan(nil, nil, func(key, val []byte) bool {
+	err = tree.ScanContext(ctx, nil, nil, func(key, val []byte) bool {
 		rec, _, derr := adm.Decode(val)
 		if derr != nil {
 			scanErr = derr
@@ -495,7 +497,7 @@ func (c *Cluster) searchIndex(dv, ds, ixName string, part int, tokens []string, 
 	if err != nil {
 		return nil, err
 	}
-	pks, stats, err := inv.Search(tokens, t, c.cfg.TOccurrenceAlgorithm)
+	pks, stats, err := inv.Search(tokens, t, c.tOccurrenceAlgorithm())
 	if err != nil {
 		return nil, err
 	}

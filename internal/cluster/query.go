@@ -14,11 +14,18 @@ import (
 
 // QueryStats reports one query's execution profile.
 type QueryStats struct {
+	// AdmissionNs is the time spent waiting for a QueryManager slot.
+	AdmissionNs int64
 	ParseNs     int64
 	TranslateNs int64
 	OptimizeNs  int64
 	JobGenNs    int64
 	ExecNs      int64 // real wall time of the parallel job
+
+	// PlanCacheHit is true when the compiled-plan cache served this
+	// query: parse, translate, and optimize were skipped entirely and
+	// their Ns fields are zero.
+	PlanCacheHit bool
 
 	// EstimatedParallel is the cost model's makespan estimate for the
 	// configured node count (see Config.CostModel) — the number the
@@ -47,7 +54,15 @@ type Result struct {
 	Stats QueryStats
 }
 
-// Session carries statement-scoped state (use/set) across Execute calls.
+// Session carries statement-scoped state (use/set) across Execute
+// calls, like one AsterixDB client connection.
+//
+// Ownership: a Session belongs to a single goroutine (one client
+// connection). Execute mutates it (use/set/DDL statements), so sharing
+// one Session across goroutines races; give each concurrent client its
+// own Session instead. Execution itself snapshots the session's state
+// per query, so the running query never re-reads the Session after
+// Execute's statement phase.
 type Session struct {
 	Dataverse    string
 	SimFunction  string
@@ -59,12 +74,81 @@ type Session struct {
 // NewSession returns a session with the Default dataverse.
 func NewSession() *Session { return &Session{Dataverse: "Default"} }
 
+// sessionState is an immutable per-query snapshot of the session fields
+// that feed compilation. Taking it by value decouples the running query
+// from later Session mutations.
+type sessionState struct {
+	Dataverse    string
+	SimFunction  string
+	SimThreshold string
+	Opts         optimizer.Options
+}
+
+// snapshotSession captures the compile-relevant session state.
+func snapshotSession(s *Session) sessionState {
+	st := sessionState{
+		Dataverse:    s.Dataverse,
+		SimFunction:  s.SimFunction,
+		SimThreshold: s.SimThreshold,
+		Opts:         optimizer.DefaultOptions(),
+	}
+	if s.Opts != nil {
+		st.Opts = *s.Opts
+	}
+	return st
+}
+
 // Execute runs a full AQL request — statements then an optional query —
 // and returns the query result (nil Rows for statement-only requests).
+// Execution is admission-controlled: at most Config.MaxConcurrentQueries
+// requests run at once and Config.QueryTimeout (if set) bounds each
+// one. Cancellation of ctx propagates through the runtime into storage
+// scans.
 func (c *Cluster) Execute(ctx context.Context, sess *Session, src string) (*Result, error) {
 	if sess == nil {
 		sess = NewSession()
 	}
+	qctx, release, admitNs, err := c.qm.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.execute(qctx, sess, src, admitNs)
+	release(err)
+	return res, err
+}
+
+// execute runs one admitted request: plan-cache fast path, else
+// parse → statements → compile (+ cache store) → run.
+func (c *Cluster) execute(ctx context.Context, sess *Session, src string, admitNs int64) (*Result, error) {
+	key := planKey{
+		text:         normalizeAQL(src),
+		dataverse:    sess.Dataverse,
+		simFunction:  sess.SimFunction,
+		simThreshold: sess.SimThreshold,
+		opts:         snapshotSession(sess).Opts,
+	}
+	// Epoch is read before the lookup AND before any compile below: an
+	// entry stored under this epoch can never reflect catalog state
+	// newer than what its key claims, so DDL invalidation is sound.
+	epoch := c.Catalog.Epoch()
+	if e, ok := c.planCache.get(key, epoch); ok {
+		// Warm hit: skip parse, translate, and optimize entirely. Replay
+		// the request's session effects (use/set), then execute a private
+		// deep copy of the cached plan.
+		sess.Dataverse = e.post.Dataverse
+		sess.SimFunction = e.post.SimFunction
+		sess.SimThreshold = e.post.SimThreshold
+		stats := &QueryStats{
+			AdmissionNs:  admitNs,
+			PlanCacheHit: true,
+			PlanOps:      e.planOps,
+			LogicalPlan:  e.logicalPlan,
+			RuleTrace:    append([]string(nil), e.ruleTrace...),
+		}
+		plan, _ := algebra.Copy(e.plan, &algebra.VarAlloc{})
+		return c.runJob(ctx, plan, stats)
+	}
+
 	t0 := time.Now()
 	q, err := aqlp.Parse(src)
 	if err != nil {
@@ -72,15 +156,46 @@ func (c *Cluster) Execute(ctx context.Context, sess *Session, src string) (*Resu
 	}
 	parseNs := time.Since(t0).Nanoseconds()
 
+	// Only requests whose statements are all session-scoped (use/set)
+	// are cacheable: their full effect is captured by the key's entry
+	// state and the entry's recorded post state. DDL and other
+	// statements bypass the cache (and bump the catalog epoch).
+	cacheable := true
 	for _, stmt := range q.Stmts {
+		switch stmt.(type) {
+		case aqlp.UseStmt, aqlp.SetStmt:
+		default:
+			cacheable = false
+		}
 		if err := c.executeStmt(sess, stmt); err != nil {
 			return nil, err
 		}
 	}
 	if q.Body == nil {
-		return &Result{Stats: QueryStats{ParseNs: parseNs}}, nil
+		return &Result{Stats: QueryStats{AdmissionNs: admitNs, ParseNs: parseNs}}, nil
 	}
-	return c.runQuery(ctx, sess, q.Body, parseNs)
+
+	st := snapshotSession(sess)
+	plan, stats, err := c.compileState(st, q.Body)
+	if err != nil {
+		return nil, err
+	}
+	stats.ParseNs = parseNs
+	stats.AdmissionNs = admitNs
+
+	if cacheable && c.planCache.Enabled() {
+		cached, _ := algebra.Copy(plan, &algebra.VarAlloc{})
+		c.planCache.put(&planEntry{
+			key:         key,
+			plan:        cached,
+			epoch:       epoch,
+			post:        st,
+			planOps:     stats.PlanOps,
+			logicalPlan: stats.LogicalPlan,
+			ruleTrace:   append([]string(nil), stats.RuleTrace...),
+		})
+	}
+	return c.runJob(ctx, plan, stats)
 }
 
 func (c *Cluster) executeStmt(sess *Session, stmt aqlp.Stmt) error {
@@ -114,11 +229,27 @@ func (c *Cluster) executeStmt(sess *Session, stmt aqlp.Stmt) error {
 		if s.IType == "ngram" && s.GramLen < 1 {
 			return fmt.Errorf("cluster: ngram index needs a gram length")
 		}
-		if err := c.Catalog.AddIndex(sess.Dataverse, s.Dataset, ix); err != nil {
+		// Exclude concurrent inserts for the whole build+register window:
+		// the bulk build sees a stable dataset and no insert runs against
+		// a catalog entry that is about to change. Build BEFORE
+		// registering — queries compile against the catalog without
+		// taking ddlMu, so the index must be complete by the time it
+		// becomes visible to the optimizer.
+		c.ddlMu.Lock()
+		defer c.ddlMu.Unlock()
+		meta, ok := c.Catalog.Dataset(sess.Dataverse, s.Dataset)
+		if !ok {
+			return fmt.Errorf("cluster: unknown dataset %s.%s", sess.Dataverse, s.Dataset)
+		}
+		for _, existing := range meta.Indexes {
+			if existing.Name == s.Name {
+				return fmt.Errorf("cluster: index %q exists on %q", s.Name, s.Dataset)
+			}
+		}
+		if err := c.BuildIndex(sess.Dataverse, s.Dataset, ix); err != nil {
 			return err
 		}
-		// Build from existing data (bulk path).
-		return c.BuildIndex(sess.Dataverse, s.Dataset, ix)
+		return c.Catalog.AddIndex(sess.Dataverse, s.Dataset, ix)
 	case aqlp.CreateFunctionStmt:
 		c.Catalog.SetFunc(s.Name, aqlp.FuncDef{Params: s.Params, Body: s.Body})
 		return nil
@@ -134,14 +265,20 @@ func (c *Cluster) Compile(sess *Session, body aqlp.Node) (*algebra.Op, *QuerySta
 	if sess == nil {
 		sess = NewSession()
 	}
+	return c.compileState(snapshotSession(sess), body)
+}
+
+// compileState translates and optimizes against an immutable session
+// snapshot, so compilation never races Session mutations.
+func (c *Cluster) compileState(st sessionState, body aqlp.Node) (*algebra.Op, *QueryStats, error) {
 	stats := &QueryStats{}
 	alloc := &algebra.VarAlloc{}
 	tr := &aqlp.Translator{
 		Catalog:          c.Catalog,
 		Alloc:            alloc,
-		DefaultDataverse: sess.Dataverse,
-		SimFunction:      sess.SimFunction,
-		SimThreshold:     sess.SimThreshold,
+		DefaultDataverse: st.Dataverse,
+		SimFunction:      st.SimFunction,
+		SimThreshold:     st.SimThreshold,
 		Funcs:            c.Catalog.Funcs(),
 	}
 	t0 := time.Now()
@@ -151,11 +288,7 @@ func (c *Cluster) Compile(sess *Session, body aqlp.Node) (*algebra.Op, *QuerySta
 	}
 	stats.TranslateNs = time.Since(t0).Nanoseconds()
 
-	opts := optimizer.DefaultOptions()
-	if sess.Opts != nil {
-		opts = *sess.Opts
-	}
-	o := &optimizer.Optimizer{Catalog: c.Catalog, Alloc: alloc, Opts: opts, Trace: &stats.RuleTrace}
+	o := &optimizer.Optimizer{Catalog: c.Catalog, Alloc: alloc, Opts: st.Opts, Trace: &stats.RuleTrace}
 	t0 = time.Now()
 	plan, err = o.Optimize(plan)
 	if err != nil {
@@ -167,13 +300,9 @@ func (c *Cluster) Compile(sess *Session, body aqlp.Node) (*algebra.Op, *QuerySta
 	return plan, stats, nil
 }
 
-func (c *Cluster) runQuery(ctx context.Context, sess *Session, body aqlp.Node, parseNs int64) (*Result, error) {
-	plan, stats, err := c.Compile(sess, body)
-	if err != nil {
-		return nil, err
-	}
-	stats.ParseNs = parseNs
-
+// runJob generates and executes the hyracks job for a compiled plan,
+// filling in the runtime half of stats.
+func (c *Cluster) runJob(ctx context.Context, plan *algebra.Op, stats *QueryStats) (*Result, error) {
 	counters := &QueryCounters{}
 	t0 := time.Now()
 	job, collector, err := c.GenerateJob(plan, counters)
@@ -182,7 +311,11 @@ func (c *Cluster) runQuery(ctx context.Context, sess *Session, body aqlp.Node, p
 	}
 	stats.JobGenNs = time.Since(t0).Nanoseconds()
 
-	topo := hyracks.Topology{Partitions: c.cfg.Partitions(), PartsPerNode: c.cfg.PartitionsPerNode}
+	topo := hyracks.Topology{
+		Partitions:      c.cfg.Partitions(),
+		PartsPerNode:    c.cfg.PartitionsPerNode,
+		NetFrameLatency: time.Duration(c.simNetLat.Load()),
+	}
 	jstats, err := hyracks.Run(ctx, job, topo)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// QueryManager gates concurrent query execution: a bounded admission
+// semaphore keeps the cluster from oversubscribing itself under heavy
+// traffic, a per-query deadline bounds runaway queries, and per-query
+// stats are collected without racing (each query gets its own
+// QueryStats; shared counters are atomic). Admission waits respect the
+// caller's context, so a cancelled client stops waiting immediately.
+type QueryManager struct {
+	sem     chan struct{}
+	timeout time.Duration
+
+	admitted  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	rejected  atomic.Int64
+	active    atomic.Int64
+	peak      atomic.Int64
+}
+
+// newQueryManager builds a manager admitting at most maxConcurrent
+// queries at a time (<= 0 means the default of 64) with an optional
+// per-query timeout (0 means none).
+func newQueryManager(maxConcurrent int, timeout time.Duration) *QueryManager {
+	if maxConcurrent <= 0 {
+		maxConcurrent = 64
+	}
+	return &QueryManager{
+		sem:     make(chan struct{}, maxConcurrent),
+		timeout: timeout,
+	}
+}
+
+// admit blocks until a slot frees up or ctx is done. On success it
+// returns the (possibly deadline-wrapped) query context, a release
+// function, and the time spent waiting for admission.
+func (m *QueryManager) admit(ctx context.Context) (context.Context, func(err error), int64, error) {
+	t0 := time.Now()
+	select {
+	case m.sem <- struct{}{}:
+	case <-ctx.Done():
+		m.rejected.Add(1)
+		return nil, nil, 0, ctx.Err()
+	}
+	waitNs := time.Since(t0).Nanoseconds()
+	m.admitted.Add(1)
+	a := m.active.Add(1)
+	for {
+		p := m.peak.Load()
+		if a <= p || m.peak.CompareAndSwap(p, a) {
+			break
+		}
+	}
+	qctx := ctx
+	cancel := func() {}
+	if m.timeout > 0 {
+		qctx, cancel = context.WithTimeout(ctx, m.timeout)
+	}
+	release := func(err error) {
+		cancel()
+		m.active.Add(-1)
+		if err != nil {
+			m.failed.Add(1)
+		} else {
+			m.completed.Add(1)
+		}
+		<-m.sem
+	}
+	return qctx, release, waitNs, nil
+}
+
+// QueryManagerStats is a point-in-time snapshot of serving counters.
+type QueryManagerStats struct {
+	Admitted   int64 // queries that obtained a slot
+	Completed  int64 // finished without error
+	Failed     int64 // finished with an error (including timeouts)
+	Rejected   int64 // gave up waiting for admission (context done)
+	Active     int64 // currently executing
+	PeakActive int64 // high-water mark of concurrent execution
+	MaxActive  int   // the admission bound
+}
+
+// Stats returns the current counters.
+func (m *QueryManager) Stats() QueryManagerStats {
+	return QueryManagerStats{
+		Admitted:   m.admitted.Load(),
+		Completed:  m.completed.Load(),
+		Failed:     m.failed.Load(),
+		Rejected:   m.rejected.Load(),
+		Active:     m.active.Load(),
+		PeakActive: m.peak.Load(),
+		MaxActive:  cap(m.sem),
+	}
+}

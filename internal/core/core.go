@@ -50,6 +50,14 @@ type Config struct {
 	// TOccurrence selects the inverted-index merge algorithm:
 	// "scancount" (default), "mergeskip", or "divideskip".
 	TOccurrence string
+	// MaxConcurrentQueries bounds concurrent query admission (default
+	// 64); excess callers wait for a slot.
+	MaxConcurrentQueries int
+	// QueryTimeout caps each admitted query's run time; 0 disables.
+	QueryTimeout time.Duration
+	// PlanCacheSize bounds the compiled-plan cache in entries (0 takes
+	// the default of 256; negative disables the cache).
+	PlanCacheSize int
 }
 
 // Database is an open SimDB instance.
@@ -92,6 +100,9 @@ func Open(cfg Config) (*Database, error) {
 		DiskBufferCacheBytes:    cfg.DiskBufferCacheBytes,
 		MemComponentBudgetBytes: cfg.MemComponentBudgetBytes,
 		TOccurrenceAlgorithm:    algo,
+		MaxConcurrentQueries:    cfg.MaxConcurrentQueries,
+		QueryTimeout:            cfg.QueryTimeout,
+		PlanCacheSize:           cfg.PlanCacheSize,
 	})
 	if err != nil {
 		return nil, err
@@ -190,6 +201,29 @@ func (db *Database) IndexFootprint(dataset, index string) (bytes, entries int64,
 		return 0, 0, err
 	}
 	return s.DiskBytes, s.DiskEntries, nil
+}
+
+// SetSimNetLatency sets the real time each cross-node frame transfer
+// occupies during query execution (default 0: instantaneous, network
+// cost estimated post-hoc only). Used by the concurrent-serving
+// benchmark to give queries a network wait that concurrency overlaps.
+func (db *Database) SetSimNetLatency(d time.Duration) {
+	db.c.SetSimNetLatency(d)
+}
+
+// PlanCacheStats reports the compiled-plan cache's counters.
+func (db *Database) PlanCacheStats() cluster.PlanCacheStats {
+	return db.c.PlanCache().Stats()
+}
+
+// SetPlanCacheEnabled toggles the compiled-plan cache at run time.
+func (db *Database) SetPlanCacheEnabled(on bool) {
+	db.c.PlanCache().SetEnabled(on)
+}
+
+// ServingStats reports the admission controller's counters.
+func (db *Database) ServingStats() cluster.QueryManagerStats {
+	return db.c.QueryManager().Stats()
 }
 
 // EstimateParallel re-exposes the cost model for external callers.

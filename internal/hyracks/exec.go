@@ -214,6 +214,7 @@ func Run(ctx context.Context, job *Job, topo Topology) (*JobStats, error) {
 						prodPart:      p,
 						prodNode:      node,
 						consNodes:     e.consNodes,
+						netLatency:    topo.NetFrameLatency,
 						bufs:          make([][]Tuple, e.consParts),
 						bytesShuffled: &bytesShuffled,
 						netMessages:   &netMessages,

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"simdb/internal/adm"
 )
@@ -124,6 +125,12 @@ type Topology struct {
 	Partitions int
 	// PartsPerNode maps partition indexes to nodes: node = part / PartsPerNode.
 	PartsPerNode int
+	// NetFrameLatency, when positive, makes every cross-node frame send
+	// occupy that much real time, modeling wire transfer instead of only
+	// estimating it post-hoc. A single client pays these waits serially;
+	// concurrent queries overlap them — the effect the concurrent-serving
+	// experiment measures. Zero (the default) keeps sends instantaneous.
+	NetFrameLatency time.Duration
 }
 
 // NodeOf returns the node hosting partition p of an operator with n
@@ -166,6 +173,7 @@ type Emitter struct {
 	bufs          [][]Tuple
 	state         *instanceState
 	closed        bool
+	netLatency    time.Duration
 	sendWaitNs    int64 // owned by this emitter; summed by the executor
 	bytesShuffled *atomic.Int64
 	netMessages   *atomic.Int64
@@ -215,6 +223,12 @@ func (e *Emitter) flush(dest int) {
 		}
 		e.bytesShuffled.Add(int64(n))
 		e.netMessages.Add(1)
+		if e.netLatency > 0 {
+			// Simulated wire time; counted as send wait, not busy time.
+			t0 := time.Now()
+			time.Sleep(e.netLatency)
+			e.sendWaitNs += time.Since(t0).Nanoseconds()
+		}
 	}
 	var ch chan frame
 	if e.merged != nil {

@@ -120,9 +120,16 @@ func (ix *Index) Stats() storage.Stats { return ix.tree.Stats() }
 
 // Postings returns the sorted primary keys containing token.
 func (ix *Index) Postings(token string) ([]PK, error) {
+	snap := ix.tree.Snapshot()
+	defer snap.Close()
+	return snapPostings(snap, token)
+}
+
+// snapPostings fetches one token's posting list from a tree snapshot.
+func snapPostings(snap *storage.TreeSnapshot, token string) ([]PK, error) {
 	prefix := tokenPrefix(token)
 	var out []PK
-	err := ix.tree.Scan(prefix, prefixEnd(prefix), func(k, _ []byte) bool {
+	err := snap.Scan(nil, prefix, prefixEnd(prefix), func(k, _ []byte) bool {
 		out = append(out, PK(k[len(prefix):]))
 		return true
 	})
@@ -161,14 +168,18 @@ type SearchStats struct {
 
 // Search retrieves the posting lists for the query tokens (duplicates
 // collapse) and returns the primary keys occurring on at least T lists,
-// in sorted order. T must be positive: a T <= 0 query is the paper's
-// corner case, where the index cannot prune and the caller must fall
-// back to a scan-based plan.
+// in sorted order. All posting lists are read from one refcounted tree
+// snapshot, so every token sees the same index version even while
+// concurrent inserts, flushes, or merges run. T must be positive: a
+// T <= 0 query is the paper's corner case, where the index cannot prune
+// and the caller must fall back to a scan-based plan.
 func (ix *Index) Search(tokens []string, t int, algo Algorithm) ([]PK, SearchStats, error) {
 	var stats SearchStats
 	if t <= 0 {
 		return nil, stats, fmt.Errorf("invindex: non-positive occurrence threshold %d (corner case: use a scan)", t)
 	}
+	snap := ix.tree.Snapshot()
+	defer snap.Close()
 	seen := make(map[string]struct{}, len(tokens))
 	lists := make([][]PK, 0, len(tokens))
 	for _, tok := range tokens {
@@ -176,7 +187,7 @@ func (ix *Index) Search(tokens []string, t int, algo Algorithm) ([]PK, SearchSta
 			continue
 		}
 		seen[tok] = struct{}{}
-		l, err := ix.Postings(tok)
+		l, err := snapPostings(snap, tok)
 		if err != nil {
 			return nil, stats, err
 		}

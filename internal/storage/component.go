@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"sync/atomic"
 )
 
 // An on-disk component: an immutable sorted run of (key, value) entries
@@ -185,7 +186,12 @@ func uvarintSize(x uint64) int {
 	return n
 }
 
-// Component is an open, immutable on-disk sorted run.
+// Component is an open, immutable on-disk sorted run. Components are
+// reference counted: the owning LSM tree holds one reference, and every
+// snapshot acquired from the tree holds another. The file is closed —
+// and, if the component was retired by a merge, deleted — only when the
+// last reference drains, so long-running scans never observe a
+// component disappearing underneath them.
 type Component struct {
 	f      *os.File
 	path   string
@@ -195,6 +201,9 @@ type Component struct {
 	bloom  *Bloom
 	n      int64
 	size   int64
+
+	refs atomic.Int32 // starts at 1 (the opener's reference)
+	drop atomic.Bool  // delete the file when the last reference drains
 }
 
 // OpenComponent opens a component file for reading through cache.
@@ -254,7 +263,7 @@ func OpenComponent(path string, cache *BufferCache) (*Component, error) {
 		f.Close()
 		return nil, err
 	}
-	return &Component{
+	c := &Component{
 		f:      f,
 		path:   path,
 		fileID: NewFileID(),
@@ -263,7 +272,9 @@ func OpenComponent(path string, cache *BufferCache) (*Component, error) {
 		bloom:  bloom,
 		n:      n,
 		size:   st.Size(),
-	}, nil
+	}
+	c.refs.Store(1)
+	return c, nil
 }
 
 func parsePageIndex(buf []byte) ([]pageMeta, error) {
@@ -296,18 +307,36 @@ func parsePageIndex(buf []byte) ([]pageMeta, error) {
 	return pages, nil
 }
 
-// Close releases the file and evicts its cached pages.
-func (c *Component) Close() error {
+// acquire takes an additional reference (snapshot creation).
+func (c *Component) acquire() { c.refs.Add(1) }
+
+// release drops one reference. When the count drains to zero the file
+// is closed, its cached pages evicted, and — if the component was
+// retired by a merge — the file deleted.
+func (c *Component) release() error {
+	if c.refs.Add(-1) != 0 {
+		return nil
+	}
 	c.cache.Evict(c.fileID)
-	return c.f.Close()
+	err := c.f.Close()
+	if c.drop.Load() {
+		if rerr := os.Remove(c.path); err == nil {
+			err = rerr
+		}
+	}
+	return err
 }
 
-// Remove closes the component and deletes its file.
+// Close releases the caller's reference; the file closes once every
+// snapshot holding the component has also released it.
+func (c *Component) Close() error { return c.release() }
+
+// Remove marks the component's file for deletion and releases the
+// caller's reference; the file is deleted when the last reference
+// drains.
 func (c *Component) Remove() error {
-	if err := c.Close(); err != nil {
-		return err
-	}
-	return os.Remove(c.path)
+	c.drop.Store(true)
+	return c.release()
 }
 
 // Path returns the component's file path.

@@ -8,6 +8,7 @@ package storage
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -49,8 +50,10 @@ func (o *LSMOptions) withDefaults() LSMOptions {
 }
 
 // LSMTree is a single partition's LSM B+-tree over byte keys and
-// values. It is safe for concurrent use; writes take an exclusive
-// lock, reads a shared one.
+// values. It is safe for concurrent use. Writes take an exclusive
+// lock; reads acquire a refcounted TreeSnapshot under a brief shared
+// lock and then proceed lock-free, so a slow scan never blocks a
+// concurrent Put, Flush, or Merge (see TreeSnapshot).
 type LSMTree struct {
 	dir  string
 	opts LSMOptions
@@ -168,9 +171,8 @@ func (t *LSMTree) flushLocked() error {
 	if err != nil {
 		return err
 	}
-	for _, k := range t.mem.sortedKeys(nil, nil) {
-		e := t.mem.entries[k]
-		if err := cw.Add([]byte(k), encodeEntry(e)); err != nil {
+	for _, kv := range t.mem.snapshotRange(nil, nil) {
+		if err := cw.Add([]byte(kv.key), encodeEntry(kv.e)); err != nil {
 			cw.Abort()
 			return err
 		}
@@ -244,6 +246,9 @@ func (t *LSMTree) mergeLocked() error {
 	old := t.components
 	t.components = []*Component{c}
 	t.nextSeq++
+	// Retire the merged-away components: mark their files for deletion
+	// and release the tree's reference. Snapshots still reading them
+	// keep the files alive until their own references drain.
 	for _, oc := range old {
 		if err := oc.Remove(); err != nil {
 			return err
@@ -319,86 +324,29 @@ func (m *mergeIter) next() bool {
 
 // Get returns the newest value for key, consulting the memtable first
 // and then disk components newest-first through their bloom filters.
+// It holds the tree lock only while acquiring a snapshot.
 func (t *LSMTree) Get(key []byte) ([]byte, bool, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if v, dead, ok := t.mem.get(key); ok {
-		if dead {
-			return nil, false, nil
-		}
-		return v, true, nil
-	}
-	for _, c := range t.components {
-		v, ok, err := c.Get(key)
-		if err != nil {
-			return nil, false, err
-		}
-		if ok {
-			val, dead := decodeEntry(v)
-			if dead {
-				return nil, false, nil
-			}
-			return val, true, nil
-		}
-	}
-	return nil, false, nil
+	s := t.Snapshot()
+	defer s.Close()
+	return s.Get(key)
 }
 
 // Scan calls fn for each live (key, value) with key in [start, end) in
 // key order, merging the memtable and all components. fn must not
-// retain its arguments. Iteration stops early if fn returns false.
+// retain its arguments. Iteration stops early if fn returns false. fn
+// runs with no tree lock held — it may take arbitrarily long without
+// blocking writers.
 func (t *LSMTree) Scan(start, end []byte, fn func(key, value []byte) bool) error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	return t.ScanContext(nil, start, end, fn)
+}
 
-	iters := make([]*Iterator, len(t.components))
-	for i, c := range t.components {
-		iters[i] = c.NewIterator(start, end)
-	}
-	merge := newMergeIter(iters)
-	diskValid := merge.next()
-
-	memKeys := t.mem.sortedKeys(start, end)
-	mi := 0
-
-	for {
-		var useMem bool
-		switch {
-		case mi < len(memKeys) && diskValid:
-			c := bytes.Compare([]byte(memKeys[mi]), merge.key)
-			useMem = c <= 0
-			if c == 0 {
-				// Memtable shadows disk: skip the disk version.
-				diskValid = merge.next()
-			}
-		case mi < len(memKeys):
-			useMem = true
-		case diskValid:
-			useMem = false
-		default:
-			return merge.err
-		}
-		if useMem {
-			k := memKeys[mi]
-			e := t.mem.entries[k]
-			mi++
-			if e.tombstone {
-				continue
-			}
-			if !fn([]byte(k), e.value) {
-				return nil
-			}
-		} else {
-			val, dead := decodeEntry(merge.val)
-			k := merge.key
-			if !dead {
-				if !fn(k, val) {
-					return nil
-				}
-			}
-			diskValid = merge.next()
-		}
-	}
+// ScanContext is Scan with cooperative cancellation: once ctx is
+// cancelled the scan stops within a few hundred entries and returns
+// ctx's error. A nil ctx behaves like Scan.
+func (t *LSMTree) ScanContext(ctx context.Context, start, end []byte, fn func(key, value []byte) bool) error {
+	s := t.Snapshot()
+	defer s.Close()
+	return s.Scan(ctx, start, end, fn)
 }
 
 // BulkLoad streams pre-sorted entries directly into a single on-disk

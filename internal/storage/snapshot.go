@@ -1,0 +1,149 @@
+package storage
+
+import (
+	"bytes"
+	"context"
+	"sync"
+)
+
+// TreeSnapshot is a refcounted read view of an LSM tree: a reference to
+// the tree's current memtable plus its immutable disk-component list,
+// acquired under a brief lock. Reads against the snapshot then proceed
+// without holding any tree lock, so arbitrarily slow scans (operator
+// pipelines running user code per tuple) never block writers, flushes,
+// or merges — the component-lifecycle discipline of LSM storage
+// managers, where immutable disk components exist precisely so readers
+// never block writers.
+//
+// Semantics: the disk-component list is a true point-in-time view
+// (merges retire components only after every snapshot referencing them
+// is closed). The memtable reference is read-committed — a Get or the
+// start of a Scan observes writes applied to the still-live memtable
+// after the snapshot was taken; once a flush rotates the memtable out,
+// the snapshot keeps reading the frozen, no-longer-mutated instance.
+//
+// Close must be called exactly once when done; it is what lets retired
+// components drain and delete their files.
+type TreeSnapshot struct {
+	mem        *memtable
+	components []*Component // newest first
+	once       sync.Once
+}
+
+// Snapshot acquires a read view of the tree. The caller must Close it.
+func (t *LSMTree) Snapshot() *TreeSnapshot {
+	t.mu.RLock()
+	s := &TreeSnapshot{
+		mem:        t.mem,
+		components: make([]*Component, len(t.components)),
+	}
+	copy(s.components, t.components)
+	for _, c := range s.components {
+		c.acquire()
+	}
+	t.mu.RUnlock()
+	return s
+}
+
+// Close releases the snapshot's component references. Idempotent.
+func (s *TreeSnapshot) Close() {
+	s.once.Do(func() {
+		for _, c := range s.components {
+			c.release()
+		}
+	})
+}
+
+// Components returns the number of disk components in the view.
+func (s *TreeSnapshot) Components() int { return len(s.components) }
+
+// Get returns the newest value for key in the snapshot, consulting the
+// memtable first and then disk components newest-first through their
+// bloom filters. No tree lock is held.
+func (s *TreeSnapshot) Get(key []byte) ([]byte, bool, error) {
+	if v, dead, ok := s.mem.get(key); ok {
+		if dead {
+			return nil, false, nil
+		}
+		return v, true, nil
+	}
+	for _, c := range s.components {
+		v, ok, err := c.Get(key)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			val, dead := decodeEntry(v)
+			if dead {
+				return nil, false, nil
+			}
+			return val, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// Scan calls fn for each live (key, value) with key in [start, end) in
+// key order, merging the memtable view and all snapshot components. fn
+// must not retain its arguments. Iteration stops early if fn returns
+// false, or with ctx.Err() once ctx is cancelled (checked every few
+// hundred entries). fn runs with no lock held, so a slow consumer never
+// starves writers. A nil ctx disables cancellation checks.
+func (s *TreeSnapshot) Scan(ctx context.Context, start, end []byte, fn func(key, value []byte) bool) error {
+	iters := make([]*Iterator, len(s.components))
+	for i, c := range s.components {
+		iters[i] = c.NewIterator(start, end)
+	}
+	merge := newMergeIter(iters)
+	diskValid := merge.next()
+
+	memEntries := s.mem.snapshotRange(start, end)
+	mi := 0
+
+	const cancelCheckEvery = 512
+	steps := 0
+	for {
+		if ctx != nil {
+			if steps++; steps%cancelCheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+		}
+		var useMem bool
+		switch {
+		case mi < len(memEntries) && diskValid:
+			c := bytes.Compare([]byte(memEntries[mi].key), merge.key)
+			useMem = c <= 0
+			if c == 0 {
+				// Memtable shadows disk: skip the disk version.
+				diskValid = merge.next()
+			}
+		case mi < len(memEntries):
+			useMem = true
+		case diskValid:
+			useMem = false
+		default:
+			return merge.err
+		}
+		if useMem {
+			kv := memEntries[mi]
+			mi++
+			if kv.e.tombstone {
+				continue
+			}
+			if !fn([]byte(kv.key), kv.e.value) {
+				return nil
+			}
+		} else {
+			val, dead := decodeEntry(merge.val)
+			k := merge.key
+			if !dead {
+				if !fn(k, val) {
+					return nil
+				}
+			}
+			diskValid = merge.next()
+		}
+	}
+}
