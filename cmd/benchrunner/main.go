@@ -26,6 +26,7 @@ func main() {
 		selQ    = flag.Int("selqueries", 20, "queries averaged per selection data point")
 		joinQ   = flag.Int("joinqueries", 3, "queries averaged per join data point")
 		workDir = flag.String("dir", "", "scratch directory (default: a temp dir, removed afterwards)")
+		metrics = flag.String("metrics", "", "write the final process metrics snapshot as JSON to this file (\"-\" for stdout)")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -61,6 +62,36 @@ func main() {
 		}
 		fmt.Printf("\n[%s completed in %s]\n", name, time.Since(start).Round(time.Millisecond))
 	}
+
+	if *metrics != "" {
+		if err := writeMetrics(env, *metrics); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeMetrics dumps the process-wide observability snapshot — query
+// latency quantiles, storage flush/merge activity, cache and
+// bloom-filter counters, plan-cache and admission totals — accumulated
+// across every experiment that ran.
+func writeMetrics(env *bench.Env, path string) error {
+	db, err := env.DB()
+	if err != nil {
+		return err
+	}
+	data, err := db.Metrics().JSON()
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		fmt.Println(string(data))
+		return nil
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote metrics snapshot to %s\n", path)
+	return nil
 }
 
 // printEnv mirrors the paper's Table 2 configuration listing.

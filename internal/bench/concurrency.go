@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"simdb/internal/datagen"
+	"simdb/internal/obs"
 )
 
 // ConcurrencyCell is one measured point of the concurrent-serving
@@ -33,6 +34,10 @@ type ConcurrencyReport struct {
 	Scale      int               `json:"scale"`
 	Nodes      int               `json:"nodes"`
 	Cells      []ConcurrencyCell `json:"cells"`
+	// Metrics is the process-wide observability snapshot taken after the
+	// last cell: query latency quantiles, storage and cache counters,
+	// plan-cache and admission totals.
+	Metrics obs.Snapshot `json:"metrics"`
 }
 
 // Concurrency measures concurrent query throughput: parallel
@@ -165,6 +170,8 @@ func (e *Env) Concurrency() error {
 				cell.CacheHits, cell.AvgCompileUs)
 		}
 	}
+
+	report.Metrics = db.Metrics()
 
 	dir := e.ReportDir
 	if dir == "" {

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -9,6 +10,7 @@ import (
 
 	"simdb/internal/adm"
 	"simdb/internal/invindex"
+	"simdb/internal/obs"
 	"simdb/internal/optimizer"
 	"simdb/internal/storage"
 	"simdb/internal/tokenizer"
@@ -24,6 +26,11 @@ type Cluster struct {
 	autoPK    atomic.Int64
 	tOccAlgo  atomic.Int32
 	simNetLat atomic.Int64 // nanoseconds of simulated cross-node frame latency
+
+	// slowThresh is the slow-query log latency threshold in nanoseconds
+	// (0 = disabled); slowLog renders the records.
+	slowThresh atomic.Int64
+	slowLog    *obs.Logger
 
 	planCache *PlanCache
 	qm        *QueryManager
@@ -47,8 +54,10 @@ func New(cfg Config) (*Cluster, error) {
 		Catalog:   NewCatalog(),
 		planCache: NewPlanCache(cfg.PlanCacheSize),
 		qm:        newQueryManager(cfg.MaxConcurrentQueries, cfg.QueryTimeout),
+		slowLog:   obs.NewLogger(os.Stderr, obs.LevelInfo),
 	}
 	c.tOccAlgo.Store(int32(cfg.TOccurrenceAlgorithm))
+	c.slowThresh.Store(int64(cfg.SlowQueryThreshold))
 	if cfg.PlanCacheSize < 0 {
 		c.planCache.SetEnabled(false)
 	}

@@ -91,8 +91,18 @@ func TestQueryTimeoutCancelsScan(t *testing.T) {
 	if !errors.Is(qerr, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want deadline exceeded", qerr)
 	}
-	if st := c.QueryManager().Stats(); st.Failed == 0 {
+	if !errors.Is(qerr, ErrQueryTimeout) {
+		t.Fatalf("err = %v, want ErrQueryTimeout", qerr)
+	}
+	if errors.Is(qerr, ErrAdmissionTimeout) {
+		t.Fatalf("execution timeout misclassified as admission timeout: %v", qerr)
+	}
+	st := c.QueryManager().Stats()
+	if st.Failed == 0 {
 		t.Fatalf("timeout not counted as failure: %+v", st)
+	}
+	if st.TimedOut == 0 {
+		t.Fatalf("timeout not counted as timed out: %+v", st)
 	}
 }
 

@@ -47,6 +47,10 @@ type Config struct {
 	// PlanCacheSize bounds the compiled-plan cache (entries, LRU).
 	// 0 takes the default of 256; negative disables the cache.
 	PlanCacheSize int
+	// SlowQueryThreshold, when positive, makes Execute emit one
+	// structured JSON log line for every query whose total wall time
+	// (admission + compile + execution) reaches it. 0 disables the log.
+	SlowQueryThreshold time.Duration
 }
 
 // WithDefaults fills unset fields.

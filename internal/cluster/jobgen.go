@@ -15,6 +15,22 @@ type QueryCounters struct {
 	IndexSearches   atomic.Int64
 	CandidatesTotal atomic.Int64
 	PostingsRead    atomic.Int64
+	// VerifiedTotal counts candidates that survived the global
+	// verification Select above an index subtree.
+	VerifiedTotal atomic.Int64
+	// OccurrenceT records the largest T-occurrence threshold any index
+	// search of this query ran with (0 = no index search).
+	OccurrenceT atomic.Int64
+}
+
+// noteOccurrenceT raises OccurrenceT to t if larger.
+func (qc *QueryCounters) noteOccurrenceT(t int64) {
+	for {
+		cur := qc.OccurrenceT.Load()
+		if t <= cur || qc.OccurrenceT.CompareAndSwap(cur, t) {
+			return
+		}
+	}
 }
 
 // jobGen compiles an optimized algebra plan into a hyracks job.
@@ -39,6 +55,10 @@ type genOut struct {
 	sortCols []hyracks.SortCol
 	// rep is the Replicate node inserted for shared algebra nodes.
 	rep *hyracks.OpNode
+	// fromIndex marks output carrying unverified secondary-index
+	// candidates; the first Select above it is the global verification
+	// and counts its survivors into QueryCounters.VerifiedTotal.
+	fromIndex bool
 }
 
 // colMap maps schema variables to column positions.
@@ -148,7 +168,7 @@ func (g *jobGen) sharedPort(op *algebra.Op, out *genOut) (*genOut, error) {
 	if port >= out.rep.OutPorts {
 		return nil, fmt.Errorf("jobgen: too many readers of shared %v", op.Kind)
 	}
-	return &genOut{node: out.rep, port: port, schema: out.schema, parts: out.parts, sortCols: out.sortCols}, nil
+	return &genOut{node: out.rep, port: port, schema: out.schema, parts: out.parts, sortCols: out.sortCols, fromIndex: out.fromIndex}, nil
 }
 
 // genFresh compiles a node that has not been seen yet.
@@ -217,13 +237,26 @@ func (g *jobGen) genSelect(op *algebra.Op) (*genOut, error) {
 	}
 	cols := colMap(in.schema)
 	cond := op.Cond
-	node := g.job.Add("Select", in.parts, hyracks.FlatMap(
+	// The first Select above an index subtree is the global verification
+	// of the paper's index plans: its survivors are the true results
+	// among the T-occurrence candidates. Output tuples here are few, so
+	// one atomic add per survivor stays off the per-tuple hot path.
+	verifier := in.fromIndex
+	counters := g.counters
+	name := "Select"
+	if verifier {
+		name = "Select(verify)"
+	}
+	node := g.job.Add(name, in.parts, hyracks.FlatMap(
 		func(ctx *hyracks.TaskCtx, t hyracks.Tuple, emit func(hyracks.Tuple)) error {
 			v, err := algebra.Eval(cond, algebra.NewEnv(cols, t))
 			if err != nil {
 				return err
 			}
 			if algebra.Truthy(v) {
+				if verifier {
+					counters.VerifiedTotal.Add(1)
+				}
 				emit(t)
 			}
 			return nil
@@ -254,7 +287,7 @@ func (g *jobGen) genAssign(op *algebra.Op) (*genOut, error) {
 			return nil
 		}), g.inputFrom(in, hyracks.ConnectorSpec{Type: hyracks.OneToOne}))
 	schema := append(append([]algebra.Var(nil), in.schema...), op.AssignVars...)
-	return &genOut{node: node, schema: schema, parts: in.parts, sortCols: in.sortCols}, nil
+	return &genOut{node: node, schema: schema, parts: in.parts, sortCols: in.sortCols, fromIndex: in.fromIndex}, nil
 }
 
 func (g *jobGen) genProject(op *algebra.Op) (*genOut, error) {
@@ -280,7 +313,7 @@ func (g *jobGen) genProject(op *algebra.Op) (*genOut, error) {
 			emit(nt)
 			return nil
 		}), g.inputFrom(in, hyracks.ConnectorSpec{Type: hyracks.OneToOne}))
-	return &genOut{node: node, schema: append([]algebra.Var(nil), op.Vars...), parts: in.parts}, nil
+	return &genOut{node: node, schema: append([]algebra.Var(nil), op.Vars...), parts: in.parts, fromIndex: in.fromIndex}, nil
 }
 
 func (g *jobGen) genUnnest(op *algebra.Op) (*genOut, error) {
@@ -318,7 +351,7 @@ func (g *jobGen) genUnnest(op *algebra.Op) (*genOut, error) {
 	if withPos {
 		schema = append(schema, op.PosVar)
 	}
-	return &genOut{node: node, schema: schema, parts: in.parts}, nil
+	return &genOut{node: node, schema: schema, parts: in.parts, fromIndex: in.fromIndex}, nil
 }
 
 func (g *jobGen) genOrder(op *algebra.Op) (*genOut, error) {
@@ -341,7 +374,7 @@ func (g *jobGen) genOrder(op *algebra.Op) (*genOut, error) {
 	}
 	node := g.job.Add("Sort", in.parts, hyracks.Sort(sortCols),
 		g.inputFrom(in, hyracks.ConnectorSpec{Type: hyracks.OneToOne}))
-	return &genOut{node: node, schema: in.schema, parts: in.parts, sortCols: sortCols}, nil
+	return &genOut{node: node, schema: in.schema, parts: in.parts, sortCols: sortCols, fromIndex: in.fromIndex}, nil
 }
 
 func (g *jobGen) genRank(op *algebra.Op) (*genOut, error) {
@@ -355,7 +388,7 @@ func (g *jobGen) genRank(op *algebra.Op) (*genOut, error) {
 	}
 	node := g.job.Add("Rank", 1, hyracks.Rank(), g.inputFrom(in, conn))
 	schema := append(append([]algebra.Var(nil), in.schema...), op.PosVar)
-	return &genOut{node: node, schema: schema, parts: 1, sortCols: in.sortCols}, nil
+	return &genOut{node: node, schema: schema, parts: 1, sortCols: in.sortCols, fromIndex: in.fromIndex}, nil
 }
 
 func (g *jobGen) genLimit(op *algebra.Op) (*genOut, error) {
@@ -368,7 +401,7 @@ func (g *jobGen) genLimit(op *algebra.Op) (*genOut, error) {
 		conn = hyracks.ConnectorSpec{Type: hyracks.MergeOne, SortCols: in.sortCols}
 	}
 	node := g.job.Add("Limit", 1, hyracks.Limit(op.Count), g.inputFrom(in, conn))
-	return &genOut{node: node, schema: in.schema, parts: 1, sortCols: in.sortCols}, nil
+	return &genOut{node: node, schema: in.schema, parts: 1, sortCols: in.sortCols, fromIndex: in.fromIndex}, nil
 }
 
 func (g *jobGen) genMaterialize(op *algebra.Op) (*genOut, error) {
@@ -378,5 +411,5 @@ func (g *jobGen) genMaterialize(op *algebra.Op) (*genOut, error) {
 	}
 	node := g.job.Add("Materialize", in.parts, hyracks.Materialize(),
 		g.inputFrom(in, hyracks.ConnectorSpec{Type: hyracks.OneToOne}))
-	return &genOut{node: node, schema: in.schema, parts: in.parts, sortCols: in.sortCols}, nil
+	return &genOut{node: node, schema: in.schema, parts: in.parts, sortCols: in.sortCols, fromIndex: in.fromIndex}, nil
 }

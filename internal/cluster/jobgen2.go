@@ -257,16 +257,20 @@ func (g *jobGen) genJoin(op *algebra.Op) (*genOut, error) {
 		node = g.job.Add("NestedLoopJoin", g.parts, hyracks.NestedLoopJoin(pred),
 			g.inputFrom(buildOut, hyracks.ConnectorSpec{Type: hyracks.Broadcast}),
 			g.inputFrom(probeOut, probeConn))
-		return &genOut{node: node, schema: outSchema, parts: g.parts}, nil
+		return &genOut{node: node, schema: outSchema, parts: g.parts, fromIndex: left.fromIndex || right.fromIndex}, nil
 	default:
 		return nil, fmt.Errorf("jobgen: unknown join phys %v", op.Phys)
 	}
 
 	// Hash joins verify key equality only; re-apply the full condition
 	// for any extra conjuncts.
+	fromIndex := left.fromIndex || right.fromIndex
 	if isAlwaysTrue(cond) {
-		return &genOut{node: node, schema: outSchema, parts: g.parts}, nil
+		return &genOut{node: node, schema: outSchema, parts: g.parts, fromIndex: fromIndex}, nil
 	}
+	// Re-applying the full condition doubles as the global verification
+	// when an index subtree feeds the join.
+	counters := g.counters
 	post := g.job.Add("JoinPostSelect", g.parts, hyracks.FlatMap(
 		func(ctx *hyracks.TaskCtx, t hyracks.Tuple, emit func(hyracks.Tuple)) error {
 			v, err := algebra.Eval(cond, algebra.NewEnv(outCols, t))
@@ -274,6 +278,9 @@ func (g *jobGen) genJoin(op *algebra.Op) (*genOut, error) {
 				return err
 			}
 			if algebra.Truthy(v) {
+				if fromIndex {
+					counters.VerifiedTotal.Add(1)
+				}
 				emit(t)
 			}
 			return nil
@@ -288,11 +295,13 @@ func isAlwaysTrue(e algebra.Expr) bool {
 
 func (g *jobGen) genUnion(op *algebra.Op) (*genOut, error) {
 	inputs := make([]hyracks.Input, len(op.Inputs))
+	var fromIndex bool
 	for i, child := range op.Inputs {
 		in, err := g.gen(child)
 		if err != nil {
 			return nil, err
 		}
+		fromIndex = fromIndex || in.fromIndex
 		cols := colMap(in.schema)
 		idx := make([]int, len(op.InVars[i]))
 		for j, v := range op.InVars[i] {
@@ -318,7 +327,7 @@ func (g *jobGen) genUnion(op *algebra.Op) (*genOut, error) {
 		inputs[i] = hyracks.Input{From: proj, Conn: conn}
 	}
 	node := g.job.Add("Union", g.parts, hyracks.Union(), inputs...)
-	return &genOut{node: node, schema: append([]algebra.Var(nil), op.OutVars...), parts: g.parts}, nil
+	return &genOut{node: node, schema: append([]algebra.Var(nil), op.OutVars...), parts: g.parts, fromIndex: fromIndex}, nil
 }
 
 func (g *jobGen) genSecondarySearch(op *algebra.Op) (*genOut, error) {
@@ -369,7 +378,7 @@ func (g *jobGen) genSecondarySearch(op *algebra.Op) (*genOut, error) {
 			return nil
 		}), g.inputFrom(in, hyracks.ConnectorSpec{Type: hyracks.Broadcast}))
 	schema := append(append([]algebra.Var(nil), in.schema...), op.OutVar)
-	return &genOut{node: node, schema: schema, parts: g.parts}, nil
+	return &genOut{node: node, schema: schema, parts: g.parts, fromIndex: true}, nil
 }
 
 // tokensFromValue converts a token-list value to strings. Non-string
@@ -440,7 +449,7 @@ func (g *jobGen) genPrimaryLookup(op *algebra.Op) (*genOut, error) {
 			return nil
 		}), g.inputFrom(in, hyracks.ConnectorSpec{Type: hyracks.OneToOne}))
 	schema := append(append([]algebra.Var(nil), in.schema...), op.PKVar, op.RecVar)
-	return &genOut{node: node, schema: schema, parts: g.parts}, nil
+	return &genOut{node: node, schema: schema, parts: g.parts, fromIndex: in.fromIndex}, nil
 }
 
 // scanPartition streams one partition of a dataset as (pk, record)
@@ -505,6 +514,7 @@ func (c *Cluster) searchIndex(dv, ds, ixName string, part int, tokens []string, 
 		counters.IndexSearches.Add(1)
 		counters.CandidatesTotal.Add(int64(stats.Candidates))
 		counters.PostingsRead.Add(stats.PostingsRead)
+		counters.noteOccurrenceT(int64(t))
 	}
 	out := make([]adm.Value, len(pks))
 	for i, pk := range pks {

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"io"
+	"time"
+
+	"simdb/internal/obs"
+)
+
+// Process-wide query-serving counters. Handles are resolved once; each
+// event is a single atomic add.
+var (
+	queriesTotal   = obs.C("cluster.queries")
+	queryErrors    = obs.C("cluster.query_errors")
+	queryLatency   = obs.H("cluster.query_latency_ns")
+	slowQueries    = obs.C("cluster.slow_queries")
+	profileQueries = obs.C("cluster.profiled_queries")
+)
+
+// SetSlowQueryThreshold changes the slow-query log latency threshold at
+// run time (0 disables). Safe to call while queries execute.
+func (c *Cluster) SetSlowQueryThreshold(d time.Duration) {
+	c.slowThresh.Store(int64(d))
+}
+
+// SetSlowQueryLogOutput redirects the slow-query log (default stderr);
+// tests and embedders point it at a buffer or a file.
+func (c *Cluster) SetSlowQueryLogOutput(w io.Writer) {
+	c.slowLog.SetOutput(w)
+}
+
+// logSlowQuery emits the structured one-line JSON record for a query
+// whose wall time reached the threshold.
+func (c *Cluster) logSlowQuery(src string, wallNs int64, res *Result, err error) {
+	slowQueries.Inc()
+	kv := []any{
+		"wall_ms", float64(wallNs) / 1e6,
+		"query", truncateQuery(src),
+	}
+	if res != nil {
+		st := &res.Stats
+		kv = append(kv,
+			"admission_ms", float64(st.AdmissionNs)/1e6,
+			"compile_ms", float64(st.ParseNs+st.TranslateNs+st.OptimizeNs+st.JobGenNs)/1e6,
+			"exec_ms", float64(st.ExecNs)/1e6,
+			"plan_cache_hit", st.PlanCacheHit,
+			"rows", len(res.Rows),
+		)
+		if st.IndexSearches > 0 {
+			kv = append(kv,
+				"occurrence_t", st.OccurrenceT,
+				"candidates", st.CandidatesTotal,
+				"verified", st.VerifiedTotal,
+			)
+		}
+	}
+	if err != nil {
+		kv = append(kv, "error", err.Error())
+	}
+	c.slowLog.Warn("slow query", kv...)
+}
+
+// truncateQuery bounds the query text recorded in log lines.
+func truncateQuery(src string) string {
+	const max = 200
+	src = normalizeAQL(src)
+	if len(src) > max {
+		return src[:max] + "..."
+	}
+	return src
+}
+
+// Metrics refreshes the point-in-time gauges (storage, caches, serving
+// counters) and returns a snapshot of the process-wide registry.
+// Event-stream metrics (flush/merge counts, query latency histograms,
+// bloom-filter checks) accumulate continuously; state gauges are read
+// here rather than maintained on hot paths.
+func (c *Cluster) Metrics() obs.Snapshot {
+	r := obs.Default()
+
+	var memEntries, memBytes, diskComponents, diskEntries, diskBytes int64
+	var cacheHits, cacheMisses, cacheEvictions, pagesRead int64
+	for _, n := range c.nodes {
+		cs := n.CacheStats()
+		cacheHits += cs.Hits
+		cacheMisses += cs.Misses
+		cacheEvictions += cs.Evictions
+		pagesRead += cs.PagesRead
+		n.mu.Lock()
+		for _, t := range n.primaries {
+			st := t.Stats()
+			memEntries += int64(st.MemEntries)
+			memBytes += st.MemBytes
+			diskComponents += int64(st.DiskComponents)
+			diskEntries += st.DiskEntries
+			diskBytes += st.DiskBytes
+		}
+		n.mu.Unlock()
+	}
+	r.Gauge("storage.memtable.entries").Set(memEntries)
+	r.Gauge("storage.memtable.bytes").Set(memBytes)
+	r.Gauge("storage.disk.components").Set(diskComponents)
+	r.Gauge("storage.disk.entries").Set(diskEntries)
+	r.Gauge("storage.disk.bytes").Set(diskBytes)
+	r.Gauge("storage.cache.hits").Set(cacheHits)
+	r.Gauge("storage.cache.misses").Set(cacheMisses)
+	r.Gauge("storage.cache.evictions").Set(cacheEvictions)
+	r.Gauge("storage.cache.pages_read").Set(pagesRead)
+
+	ps := c.planCache.Stats()
+	r.Gauge("plancache.hits").Set(ps.Hits)
+	r.Gauge("plancache.misses").Set(ps.Misses)
+	r.Gauge("plancache.invalidations").Set(ps.Invalidations)
+	r.Gauge("plancache.entries").Set(int64(ps.Entries))
+
+	qs := c.qm.Stats()
+	r.Gauge("querymanager.admitted").Set(qs.Admitted)
+	r.Gauge("querymanager.completed").Set(qs.Completed)
+	r.Gauge("querymanager.failed").Set(qs.Failed)
+	r.Gauge("querymanager.rejected").Set(qs.Rejected)
+	r.Gauge("querymanager.timed_out").Set(qs.TimedOut)
+	r.Gauge("querymanager.active").Set(qs.Active)
+	r.Gauge("querymanager.peak_active").Set(qs.PeakActive)
+
+	return r.Snapshot()
+}

@@ -47,6 +47,7 @@ type planKey struct {
 	dataverse    string
 	simFunction  string
 	simThreshold string
+	profile      bool // profiled runs key separately (span collection differs)
 	opts         optimizer.Options
 }
 
@@ -61,6 +62,7 @@ type planEntry struct {
 	planOps     int
 	logicalPlan string
 	ruleTrace   []string
+	cornerCases int
 }
 
 // NewPlanCache returns a cache bounded to capacity entries (LRU

@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The profile query used by the tests below: an index-eligible Jaccard
+// selection over the Figure 1 reviews.
+const profileQuery = `
+	for $r in dataset Reviews
+	where similarity-jaccard(word-tokens($r.summary),
+	                         word-tokens('great product fantastic')) >= 0.5
+	return $r.id
+`
+
+func TestProfileSimilaritySelect(t *testing.T) {
+	c := newTestCluster(t, 2, 2)
+	sess := NewSession()
+	loadReviews(t, c, sess)
+	exec(t, c, sess, `create index kw on Reviews(summary) type keyword;`)
+	exec(t, c, sess, `set profile 'on';`)
+
+	res := exec(t, c, sess, profileQuery)
+	if len(res.Rows) == 0 {
+		t.Fatal("profile query returned no rows")
+	}
+	p := res.Profile
+	if p == nil {
+		t.Fatal("set profile 'on' did not attach a profile")
+	}
+
+	// Compile phase: cold run, so real compile work happened.
+	if p.Compile.PlanCacheHit {
+		t.Error("first execution reported a plan-cache hit")
+	}
+	if p.Compile.ParseNs <= 0 || p.Compile.TranslateNs <= 0 || p.Compile.OptimizeNs <= 0 {
+		t.Errorf("compile timings not recorded: %+v", p.Compile)
+	}
+	if p.ExecNs <= 0 {
+		t.Errorf("ExecNs = %d, want > 0", p.ExecNs)
+	}
+	if p.RowsOut != int64(len(res.Rows)) {
+		t.Errorf("RowsOut = %d, want %d", p.RowsOut, len(res.Rows))
+	}
+
+	// Similarity stats: the index path ran, produced candidates, and
+	// global verification kept no more than it probed.
+	s := p.Similarity
+	if s.IndexSearches == 0 {
+		t.Fatalf("similarity query did not use the index: %+v", s)
+	}
+	if s.OccurrenceT <= 0 {
+		t.Errorf("OccurrenceT = %d, want > 0", s.OccurrenceT)
+	}
+	if s.Candidates <= 0 {
+		t.Errorf("Candidates = %d, want > 0", s.Candidates)
+	}
+	if s.Verified <= 0 {
+		t.Errorf("Verified = %d, want > 0", s.Verified)
+	}
+	if s.Verified > s.Candidates {
+		t.Errorf("Verified (%d) > Candidates (%d)", s.Verified, s.Candidates)
+	}
+	if s.Verified < int64(len(res.Rows)) {
+		t.Errorf("Verified (%d) < rows returned (%d)", s.Verified, len(res.Rows))
+	}
+
+	// Operator tree: per-operator aggregates plus per-instance spans.
+	if len(p.Operators) == 0 {
+		t.Fatal("no operator profiles recorded")
+	}
+	var verify bool
+	for _, op := range p.Operators {
+		if op.Instances <= 0 {
+			t.Errorf("operator %s has %d instances", op.Name, op.Instances)
+		}
+		if strings.Contains(op.Name, "Select(verify)") {
+			verify = true
+		}
+	}
+	if !verify {
+		t.Errorf("no Select(verify) operator in profile: %+v", p.Operators)
+	}
+	if len(p.Spans) == 0 {
+		t.Fatal("no per-instance spans recorded")
+	}
+	var tuplesOut int64
+	for _, sp := range p.Spans {
+		tuplesOut += sp.TuplesOut
+	}
+	if tuplesOut == 0 {
+		t.Error("spans recorded zero tuples moved")
+	}
+	if tree := p.Tree(); !strings.Contains(tree, "operator") {
+		t.Errorf("Tree() output malformed:\n%s", tree)
+	}
+
+	// Warm re-execution: same request text, same session state at entry,
+	// so the plan cache serves it — compile phases vanish, the profile
+	// says so, and the similarity stats still add up.
+	res2 := exec(t, c, sess, profileQuery)
+	p2 := res2.Profile
+	if p2 == nil {
+		t.Fatal("warm execution lost the profile")
+	}
+	if !p2.Compile.PlanCacheHit {
+		t.Fatal("second execution missed the plan cache")
+	}
+	if p2.Compile.ParseNs != 0 || p2.Compile.TranslateNs != 0 || p2.Compile.OptimizeNs != 0 {
+		t.Errorf("warm hit still reports compile work: %+v", p2.Compile)
+	}
+	if got, want := rowInts(t, res2.Rows), rowInts(t, res.Rows); len(got) != len(want) {
+		t.Errorf("warm rows %v != cold rows %v", got, want)
+	}
+	if p2.Similarity.Verified > p2.Similarity.Candidates {
+		t.Errorf("warm: Verified (%d) > Candidates (%d)",
+			p2.Similarity.Verified, p2.Similarity.Candidates)
+	}
+}
+
+func TestProfileOffByDefault(t *testing.T) {
+	c := newTestCluster(t, 1, 1)
+	sess := NewSession()
+	loadReviews(t, c, sess)
+	res := exec(t, c, sess, `for $r in dataset Reviews return $r.id`)
+	if res.Profile != nil {
+		t.Error("profile attached without set profile 'on'")
+	}
+	exec(t, c, sess, `set profile 'on';`)
+	if res := exec(t, c, sess, `for $r in dataset Reviews return $r.id`); res.Profile == nil {
+		t.Error("profile missing after set profile 'on'")
+	}
+	exec(t, c, sess, `set profile 'off';`)
+	if res := exec(t, c, sess, `for $r in dataset Reviews return $r.id`); res.Profile != nil {
+		t.Error("profile still attached after set profile 'off'")
+	}
+}
+
+func TestSetProfileRejectsJunk(t *testing.T) {
+	c := newTestCluster(t, 1, 1)
+	sess := NewSession()
+	mustErr(t, c, sess, `set profile 'maybe';`)
+}
+
+func TestAdmissionTypedErrors(t *testing.T) {
+	m := newQueryManager(1, 0)
+	_, rel, _, err := m.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Second caller with a deadline: admission times out.
+	shortCtx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, _, _, err = m.admit(shortCtx)
+	if !errors.Is(err, ErrAdmissionTimeout) {
+		t.Fatalf("err = %v, want ErrAdmissionTimeout", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want to unwrap to DeadlineExceeded", err)
+	}
+	if errors.Is(err, ErrQueryTimeout) {
+		t.Fatalf("admission timeout misclassified as execution timeout: %v", err)
+	}
+
+	// Third caller abandons the wait: canceled, not timed out.
+	canceledCtx, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+	_, _, _, err = m.admit(canceledCtx)
+	if !errors.Is(err, ErrAdmissionCanceled) {
+		t.Fatalf("err = %v, want ErrAdmissionCanceled", err)
+	}
+	if errors.Is(err, ErrAdmissionTimeout) {
+		t.Fatalf("cancellation misclassified as timeout: %v", err)
+	}
+
+	if err := rel(nil); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Rejected != 2 || st.TimedOut != 0 || st.Completed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestReleaseClassifiesExecutionTimeout(t *testing.T) {
+	m := newQueryManager(1, time.Millisecond)
+	qctx, rel, _, err := m.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-qctx.Done() // per-query deadline fires
+	got := rel(qctx.Err())
+	if !errors.Is(got, ErrQueryTimeout) {
+		t.Fatalf("err = %v, want ErrQueryTimeout", got)
+	}
+	st := m.Stats()
+	if st.TimedOut != 1 || st.Failed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// An error with the caller's own context done is NOT an execution
+	// timeout: the client went away.
+	ctx, cancel := context.WithCancel(context.Background())
+	qctx2, rel2, _, err := m.admit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	<-qctx2.Done()
+	got = rel2(qctx2.Err())
+	if errors.Is(got, ErrQueryTimeout) {
+		t.Fatalf("client cancellation misclassified as execution timeout: %v", got)
+	}
+}

@@ -3,12 +3,14 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"simdb/internal/adm"
 	"simdb/internal/algebra"
 	"simdb/internal/aqlp"
 	"simdb/internal/hyracks"
+	"simdb/internal/obs"
 	"simdb/internal/optimizer"
 )
 
@@ -41,6 +43,14 @@ type QueryStats struct {
 	IndexSearches   int64
 	CandidatesTotal int64
 	PostingsRead    int64
+	// VerifiedTotal counts index candidates that survived the global
+	// verification select; OccurrenceT is the largest T-occurrence
+	// threshold any index search used.
+	VerifiedTotal int64
+	OccurrenceT   int64
+	// CornerCaseFallbacks counts similarity predicates the optimizer
+	// left on the scan plan because of a compile-time corner case.
+	CornerCaseFallbacks int
 
 	PlanOps     int
 	LogicalPlan string
@@ -52,6 +62,9 @@ type QueryStats struct {
 type Result struct {
 	Rows  []adm.Value
 	Stats QueryStats
+	// Profile is the operator-level runtime profile, populated only when
+	// the session ran `set profile 'on';` (EXPLAIN ANALYZE-style).
+	Profile *obs.QueryProfile
 }
 
 // Session carries statement-scoped state (use/set) across Execute
@@ -67,6 +80,10 @@ type Session struct {
 	Dataverse    string
 	SimFunction  string
 	SimThreshold string
+	// Profile requests an operator-level runtime profile with each query
+	// result (`set profile 'on';`). Off by default: span collection only
+	// happens when a profile was asked for.
+	Profile bool
 	// Opts overrides the optimizer options; nil means defaults.
 	Opts *optimizer.Options
 }
@@ -81,6 +98,7 @@ type sessionState struct {
 	Dataverse    string
 	SimFunction  string
 	SimThreshold string
+	Profile      bool
 	Opts         optimizer.Options
 }
 
@@ -90,6 +108,7 @@ func snapshotSession(s *Session) sessionState {
 		Dataverse:    s.Dataverse,
 		SimFunction:  s.SimFunction,
 		SimThreshold: s.SimThreshold,
+		Profile:      s.Profile,
 		Opts:         optimizer.DefaultOptions(),
 	}
 	if s.Opts != nil {
@@ -108,12 +127,25 @@ func (c *Cluster) Execute(ctx context.Context, sess *Session, src string) (*Resu
 	if sess == nil {
 		sess = NewSession()
 	}
+	t0 := time.Now()
+	queriesTotal.Inc()
 	qctx, release, admitNs, err := c.qm.admit(ctx)
 	if err != nil {
+		queryErrors.Inc()
 		return nil, err
 	}
 	res, err := c.execute(qctx, sess, src, admitNs)
-	release(err)
+	// release classifies the error: a per-query deadline kill comes back
+	// wrapped in ErrQueryTimeout.
+	err = release(err)
+	wallNs := time.Since(t0).Nanoseconds()
+	queryLatency.Observe(wallNs)
+	if err != nil {
+		queryErrors.Inc()
+	}
+	if th := c.slowThresh.Load(); th > 0 && wallNs >= th {
+		c.logSlowQuery(src, wallNs, res, err)
+	}
 	return res, err
 }
 
@@ -125,6 +157,7 @@ func (c *Cluster) execute(ctx context.Context, sess *Session, src string, admitN
 		dataverse:    sess.Dataverse,
 		simFunction:  sess.SimFunction,
 		simThreshold: sess.SimThreshold,
+		profile:      sess.Profile,
 		opts:         snapshotSession(sess).Opts,
 	}
 	// Epoch is read before the lookup AND before any compile below: an
@@ -138,15 +171,17 @@ func (c *Cluster) execute(ctx context.Context, sess *Session, src string, admitN
 		sess.Dataverse = e.post.Dataverse
 		sess.SimFunction = e.post.SimFunction
 		sess.SimThreshold = e.post.SimThreshold
+		sess.Profile = e.post.Profile
 		stats := &QueryStats{
-			AdmissionNs:  admitNs,
-			PlanCacheHit: true,
-			PlanOps:      e.planOps,
-			LogicalPlan:  e.logicalPlan,
-			RuleTrace:    append([]string(nil), e.ruleTrace...),
+			AdmissionNs:         admitNs,
+			PlanCacheHit:        true,
+			PlanOps:             e.planOps,
+			LogicalPlan:         e.logicalPlan,
+			RuleTrace:           append([]string(nil), e.ruleTrace...),
+			CornerCaseFallbacks: e.cornerCases,
 		}
 		plan, _ := algebra.Copy(e.plan, &algebra.VarAlloc{})
-		return c.runJob(ctx, plan, stats)
+		return c.runJob(ctx, plan, stats, src, e.post.Profile)
 	}
 
 	t0 := time.Now()
@@ -193,9 +228,10 @@ func (c *Cluster) execute(ctx context.Context, sess *Session, src string, admitN
 			planOps:     stats.PlanOps,
 			logicalPlan: stats.LogicalPlan,
 			ruleTrace:   append([]string(nil), stats.RuleTrace...),
+			cornerCases: stats.CornerCaseFallbacks,
 		})
 	}
-	return c.runJob(ctx, plan, stats)
+	return c.runJob(ctx, plan, stats, src, st.Profile)
 }
 
 func (c *Cluster) executeStmt(sess *Session, stmt aqlp.Stmt) error {
@@ -212,6 +248,15 @@ func (c *Cluster) executeStmt(sess *Session, stmt aqlp.Stmt) error {
 			sess.SimFunction = s.Val
 		case "simthreshold":
 			sess.SimThreshold = s.Val
+		case "profile":
+			switch strings.ToLower(s.Val) {
+			case "on", "true", "1":
+				sess.Profile = true
+			case "off", "false", "0":
+				sess.Profile = false
+			default:
+				return fmt.Errorf("cluster: set profile wants on/off, got %q", s.Val)
+			}
 		default:
 			return fmt.Errorf("cluster: unknown set property %q", s.Key)
 		}
@@ -249,7 +294,13 @@ func (c *Cluster) executeStmt(sess *Session, stmt aqlp.Stmt) error {
 		if err := c.BuildIndex(sess.Dataverse, s.Dataset, ix); err != nil {
 			return err
 		}
-		return c.Catalog.AddIndex(sess.Dataverse, s.Dataset, ix)
+		if err := c.Catalog.AddIndex(sess.Dataverse, s.Dataset, ix); err != nil {
+			return err
+		}
+		obs.Log().Info("index created",
+			"dataverse", sess.Dataverse, "dataset", s.Dataset,
+			"index", s.Name, "type", s.IType)
+		return nil
 	case aqlp.CreateFunctionStmt:
 		c.Catalog.SetFunc(s.Name, aqlp.FuncDef{Params: s.Params, Body: s.Body})
 		return nil
@@ -288,21 +339,25 @@ func (c *Cluster) compileState(st sessionState, body aqlp.Node) (*algebra.Op, *Q
 	}
 	stats.TranslateNs = time.Since(t0).Nanoseconds()
 
-	o := &optimizer.Optimizer{Catalog: c.Catalog, Alloc: alloc, Opts: st.Opts, Trace: &stats.RuleTrace}
+	var cs optimizer.CompileStats
+	o := &optimizer.Optimizer{Catalog: c.Catalog, Alloc: alloc, Opts: st.Opts, Trace: &stats.RuleTrace, Stats: &cs}
 	t0 = time.Now()
 	plan, err = o.Optimize(plan)
 	if err != nil {
 		return nil, nil, err
 	}
 	stats.OptimizeNs = time.Since(t0).Nanoseconds()
+	stats.CornerCaseFallbacks = cs.CornerCaseFallbacks
 	stats.PlanOps = algebra.CountOps(plan)
 	stats.LogicalPlan = algebra.Print(plan)
 	return plan, stats, nil
 }
 
 // runJob generates and executes the hyracks job for a compiled plan,
-// filling in the runtime half of stats.
-func (c *Cluster) runJob(ctx context.Context, plan *algebra.Op, stats *QueryStats) (*Result, error) {
+// filling in the runtime half of stats. With profile set, the runtime
+// collects one span per operator instance and the result carries the
+// assembled QueryProfile.
+func (c *Cluster) runJob(ctx context.Context, plan *algebra.Op, stats *QueryStats, src string, profile bool) (*Result, error) {
 	counters := &QueryCounters{}
 	t0 := time.Now()
 	job, collector, err := c.GenerateJob(plan, counters)
@@ -315,6 +370,7 @@ func (c *Cluster) runJob(ctx context.Context, plan *algebra.Op, stats *QueryStat
 		Partitions:      c.cfg.Partitions(),
 		PartsPerNode:    c.cfg.PartitionsPerNode,
 		NetFrameLatency: time.Duration(c.simNetLat.Load()),
+		CollectSpans:    profile,
 	}
 	jstats, err := hyracks.Run(ctx, job, topo)
 	if err != nil {
@@ -330,6 +386,8 @@ func (c *Cluster) runJob(ctx context.Context, plan *algebra.Op, stats *QueryStat
 	stats.IndexSearches = counters.IndexSearches.Load()
 	stats.CandidatesTotal = counters.CandidatesTotal.Load()
 	stats.PostingsRead = counters.PostingsRead.Load()
+	stats.VerifiedTotal = counters.VerifiedTotal.Load()
+	stats.OccurrenceT = counters.OccurrenceT.Load()
 
 	model := CostModel{NetBandwidthMBps: c.cfg.NetBandwidthMBps, NetLatencyUs: c.cfg.NetLatencyUs, Nodes: c.cfg.NumNodes}
 	stats.EstimatedParallel = model.EstimateParallel(stats.MaxNodeTuples, stats.BytesShuffled, stats.NetMessages)
@@ -338,5 +396,51 @@ func (c *Cluster) runJob(ctx context.Context, plan *algebra.Op, stats *QueryStat
 	for i, t := range collector.Tuples {
 		rows[i] = t[0]
 	}
-	return &Result{Rows: rows, Stats: *stats}, nil
+	res := &Result{Rows: rows, Stats: *stats}
+	if profile {
+		profileQueries.Inc()
+		res.Profile = buildProfile(src, stats, jstats, len(rows))
+	}
+	return res, nil
+}
+
+// buildProfile assembles the PROFILE payload from the filled stats and
+// the job's per-instance spans.
+func buildProfile(src string, stats *QueryStats, jstats *hyracks.JobStats, rows int) *obs.QueryProfile {
+	p := &obs.QueryProfile{
+		Query: truncateQuery(src),
+		Compile: obs.CompileProfile{
+			AdmissionNs:  stats.AdmissionNs,
+			ParseNs:      stats.ParseNs,
+			TranslateNs:  stats.TranslateNs,
+			OptimizeNs:   stats.OptimizeNs,
+			JobGenNs:     stats.JobGenNs,
+			PlanCacheHit: stats.PlanCacheHit,
+		},
+		ExecNs:      stats.ExecNs,
+		RowsOut:     int64(rows),
+		Spans:       jstats.Spans,
+		LogicalPlan: stats.LogicalPlan,
+		Similarity: obs.SimilarityProfile{
+			OccurrenceT:         stats.OccurrenceT,
+			IndexSearches:       stats.IndexSearches,
+			PostingsRead:        stats.PostingsRead,
+			Candidates:          stats.CandidatesTotal,
+			Verified:            stats.VerifiedTotal,
+			CornerCaseFallbacks: int64(stats.CornerCaseFallbacks),
+		},
+	}
+	for _, op := range jstats.Ops {
+		p.Operators = append(p.Operators, obs.OpProfile{
+			Name:       op.Name,
+			Instances:  op.Instances,
+			WallNs:     op.WallNs,
+			BusyNs:     op.BusyNs,
+			TuplesIn:   op.TuplesIn,
+			TuplesOut:  op.TuplesOut,
+			FramesSent: op.FramesSent,
+			BytesMoved: op.BytesMoved,
+		})
+	}
+	return p
 }

@@ -2,8 +2,21 @@ package cluster
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync/atomic"
 	"time"
+)
+
+// Typed serving errors. Callers distinguish the three failure modes
+// with errors.Is: a query that never got a slot before its context
+// expired (ErrAdmissionTimeout), an admission wait abandoned by the
+// client (ErrAdmissionCanceled), and an admitted query killed by the
+// per-query execution deadline (ErrQueryTimeout).
+var (
+	ErrAdmissionTimeout  = errors.New("cluster: timed out waiting for query admission")
+	ErrAdmissionCanceled = errors.New("cluster: admission wait canceled")
+	ErrQueryTimeout      = errors.New("cluster: query exceeded execution timeout")
 )
 
 // QueryManager gates concurrent query execution: a bounded admission
@@ -20,6 +33,7 @@ type QueryManager struct {
 	completed atomic.Int64
 	failed    atomic.Int64
 	rejected  atomic.Int64
+	timedOut  atomic.Int64
 	active    atomic.Int64
 	peak      atomic.Int64
 }
@@ -39,14 +53,20 @@ func newQueryManager(maxConcurrent int, timeout time.Duration) *QueryManager {
 
 // admit blocks until a slot frees up or ctx is done. On success it
 // returns the (possibly deadline-wrapped) query context, a release
-// function, and the time spent waiting for admission.
-func (m *QueryManager) admit(ctx context.Context) (context.Context, func(err error), int64, error) {
+// function, and the time spent waiting for admission. release
+// classifies the query's outcome: it returns the error as-is, or
+// wrapped in ErrQueryTimeout when the per-query deadline (not the
+// caller's context) killed the execution.
+func (m *QueryManager) admit(ctx context.Context) (context.Context, func(err error) error, int64, error) {
 	t0 := time.Now()
 	select {
 	case m.sem <- struct{}{}:
 	case <-ctx.Done():
 		m.rejected.Add(1)
-		return nil, nil, 0, ctx.Err()
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return nil, nil, 0, fmt.Errorf("%w: %w", ErrAdmissionTimeout, ctx.Err())
+		}
+		return nil, nil, 0, fmt.Errorf("%w: %w", ErrAdmissionCanceled, ctx.Err())
 	}
 	waitNs := time.Since(t0).Nanoseconds()
 	m.admitted.Add(1)
@@ -62,7 +82,14 @@ func (m *QueryManager) admit(ctx context.Context) (context.Context, func(err err
 	if m.timeout > 0 {
 		qctx, cancel = context.WithTimeout(ctx, m.timeout)
 	}
-	release := func(err error) {
+	release := func(err error) error {
+		// Classify before cancel(): cancelling would overwrite the
+		// deadline state of qctx.
+		if err != nil && m.timeout > 0 &&
+			errors.Is(qctx.Err(), context.DeadlineExceeded) && ctx.Err() == nil {
+			err = fmt.Errorf("%w: %w", ErrQueryTimeout, err)
+			m.timedOut.Add(1)
+		}
 		cancel()
 		m.active.Add(-1)
 		if err != nil {
@@ -71,6 +98,7 @@ func (m *QueryManager) admit(ctx context.Context) (context.Context, func(err err
 			m.completed.Add(1)
 		}
 		<-m.sem
+		return err
 	}
 	return qctx, release, waitNs, nil
 }
@@ -81,6 +109,7 @@ type QueryManagerStats struct {
 	Completed  int64 // finished without error
 	Failed     int64 // finished with an error (including timeouts)
 	Rejected   int64 // gave up waiting for admission (context done)
+	TimedOut   int64 // admitted but killed by the per-query deadline
 	Active     int64 // currently executing
 	PeakActive int64 // high-water mark of concurrent execution
 	MaxActive  int   // the admission bound
@@ -93,6 +122,7 @@ func (m *QueryManager) Stats() QueryManagerStats {
 		Completed:  m.completed.Load(),
 		Failed:     m.failed.Load(),
 		Rejected:   m.rejected.Load(),
+		TimedOut:   m.timedOut.Load(),
 		Active:     m.active.Load(),
 		PeakActive: m.peak.Load(),
 		MaxActive:  cap(m.sem),

@@ -29,6 +29,7 @@ import (
 	"simdb/internal/aqlp"
 	"simdb/internal/cluster"
 	"simdb/internal/invindex"
+	"simdb/internal/obs"
 	"simdb/internal/optimizer"
 )
 
@@ -58,6 +59,9 @@ type Config struct {
 	// PlanCacheSize bounds the compiled-plan cache in entries (0 takes
 	// the default of 256; negative disables the cache).
 	PlanCacheSize int
+	// SlowQueryThreshold logs any query slower than this as one
+	// structured JSON line on stderr; 0 disables the slow-query log.
+	SlowQueryThreshold time.Duration
 }
 
 // Database is an open SimDB instance.
@@ -71,6 +75,9 @@ type Database struct {
 type Result struct {
 	Rows  []adm.Value
 	Stats cluster.QueryStats
+	// Profile is the operator-level runtime profile, populated only when
+	// the session ran `set profile 'on';`.
+	Profile *obs.QueryProfile
 }
 
 // Session carries use/set state and optimizer option overrides across
@@ -103,6 +110,7 @@ func Open(cfg Config) (*Database, error) {
 		MaxConcurrentQueries:    cfg.MaxConcurrentQueries,
 		QueryTimeout:            cfg.QueryTimeout,
 		PlanCacheSize:           cfg.PlanCacheSize,
+		SlowQueryThreshold:      cfg.SlowQueryThreshold,
 	})
 	if err != nil {
 		return nil, err
@@ -127,7 +135,7 @@ func (db *Database) Execute(ctx context.Context, sess *Session, aql string) (*Re
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Rows: res.Rows, Stats: res.Stats}, nil
+	return &Result{Rows: res.Rows, Stats: res.Stats, Profile: res.Profile}, nil
 }
 
 // Query runs AQL with a default session and background context.
@@ -224,6 +232,25 @@ func (db *Database) SetPlanCacheEnabled(on bool) {
 // ServingStats reports the admission controller's counters.
 func (db *Database) ServingStats() cluster.QueryManagerStats {
 	return db.c.QueryManager().Stats()
+}
+
+// Metrics returns a point-in-time snapshot of every process-wide
+// counter, gauge, and latency histogram: query throughput and latency
+// quantiles, storage flush/merge activity, buffer-cache and
+// bloom-filter effectiveness, plan-cache and admission counters.
+func (db *Database) Metrics() obs.Snapshot { return db.c.Metrics() }
+
+// SetSlowQueryThreshold changes the slow-query log latency threshold at
+// run time (0 disables).
+func (db *Database) SetSlowQueryThreshold(d time.Duration) {
+	db.c.SetSlowQueryThreshold(d)
+}
+
+// SetLogLevel sets the process-wide structured logger's level
+// ("debug", "info", "warn", "error", "off"; default off, also settable
+// via the SIMDB_LOG environment variable).
+func (db *Database) SetLogLevel(level string) {
+	obs.Log().SetLevel(obs.ParseLevel(level))
 }
 
 // EstimateParallel re-exposes the cost model for external callers.

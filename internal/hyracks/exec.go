@@ -6,13 +6,22 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"simdb/internal/obs"
 )
 
-// OpStats is the per-operator aggregate over all instances.
+// OpStats is the per-operator aggregate over all instances. BusyNs,
+// tuple, frame and byte counts are summed across instances; WallNs is
+// the slowest instance's wall time.
 type OpStats struct {
-	Name      string
-	TuplesOut int64
-	BusyNs    int64
+	Name       string
+	Instances  int
+	TuplesIn   int64
+	TuplesOut  int64
+	BusyNs     int64
+	WallNs     int64
+	FramesSent int64
+	BytesMoved int64
 }
 
 // JobStats summarizes one job execution: real wall time, per-node
@@ -32,6 +41,9 @@ type JobStats struct {
 	BytesShuffled int64
 	NetMessages   int64
 	Ops           []OpStats
+	// Spans holds one record per operator instance, populated only when
+	// Topology.CollectSpans is set (PROFILE queries).
+	Spans []obs.OpSpan
 }
 
 // MaxNodeTuples returns the busiest node's tuple count.
@@ -163,8 +175,8 @@ func Run(ctx context.Context, job *Job, topo Topology) (*JobStats, error) {
 	nNodes := topo.Nodes()
 	perNodeBusy := make([]int64, nNodes)
 	perNodeTuples := make([]int64, nNodes)
-	opBusy := make([]int64, len(job.nodes))
-	opTuples := make([]int64, len(job.nodes))
+	opAgg := make([]OpStats, len(job.nodes))
+	var spans []obs.OpSpan
 	var statsMu sync.Mutex
 
 	var firstErr error
@@ -238,22 +250,45 @@ func Run(ctx context.Context, job *Job, topo Topology) (*JobStats, error) {
 				for _, pr := range ins {
 					pr.Drain()
 				}
-				var tuplesOut, sendWait int64
+				var tuplesOut, sendWait, frames, crossBytes int64
 				for _, em := range outs {
 					em.Close()
 					tuplesOut += em.tuplesOut
 					sendWait += em.sendWaitNs
+					frames += em.framesSent
+					crossBytes += em.crossBytes
+				}
+				var tuplesIn int64
+				for _, pr := range ins {
+					tuplesIn += pr.tuplesIn
 				}
 				instState.finish()
-				busy := time.Since(t0).Nanoseconds() - recvWait - sendWait
+				wall := time.Since(t0).Nanoseconds()
+				busy := wall - recvWait - sendWait
 				if busy < 0 {
 					busy = 0
 				}
 				statsMu.Lock()
 				perNodeBusy[node] += busy
 				perNodeTuples[node] += tuplesOut
-				opBusy[n.ID] += busy
-				opTuples[n.ID] += tuplesOut
+				agg := &opAgg[n.ID]
+				agg.Instances++
+				agg.TuplesIn += tuplesIn
+				agg.TuplesOut += tuplesOut
+				agg.BusyNs += busy
+				agg.FramesSent += frames
+				agg.BytesMoved += crossBytes
+				if wall > agg.WallNs {
+					agg.WallNs = wall
+				}
+				if topo.CollectSpans {
+					spans = append(spans, obs.OpSpan{
+						Op: n.Name, Part: p, Node: node,
+						WallNs: wall, BusyNs: busy,
+						TuplesIn: tuplesIn, TuplesOut: tuplesOut,
+						FramesSent: frames, BytesMoved: crossBytes,
+					})
+				}
 				statsMu.Unlock()
 				if err != nil {
 					fail(fmt.Errorf("%s[%d]: %w", n.Name, p, err))
@@ -272,9 +307,12 @@ func Run(ctx context.Context, job *Job, topo Topology) (*JobStats, error) {
 		PerNodeTuples: perNodeTuples,
 		BytesShuffled: bytesShuffled.Load(),
 		NetMessages:   netMessages.Load(),
+		Spans:         spans,
 	}
 	for _, n := range job.nodes {
-		stats.Ops = append(stats.Ops, OpStats{Name: n.Name, TuplesOut: opTuples[n.ID], BusyNs: opBusy[n.ID]})
+		st := opAgg[n.ID]
+		st.Name = n.Name
+		stats.Ops = append(stats.Ops, st)
 	}
 	return stats, firstErr
 }

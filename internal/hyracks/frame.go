@@ -83,6 +83,11 @@ type PortReader struct {
 	state   *instanceState
 	portIdx int
 
+	// tuplesIn counts tuples delivered through this port. It is owned by
+	// the reading instance's goroutine (no atomics needed) and summed
+	// into the operator profile when the instance finishes.
+	tuplesIn int64
+
 	buf    []Tuple
 	bufPos int
 
@@ -119,6 +124,7 @@ func (r *PortReader) Next() (Tuple, bool) {
 	}
 	t := r.buf[r.bufPos]
 	r.bufPos++
+	r.tuplesIn++
 	return t, true
 }
 
@@ -156,6 +162,7 @@ func (r *PortReader) nextMerged() (Tuple, bool) {
 	}
 	t := r.heads[best]
 	r.advance(best)
+	r.tuplesIn++
 	return t, true
 }
 

@@ -131,6 +131,11 @@ type Topology struct {
 	// concurrent queries overlap them — the effect the concurrent-serving
 	// experiment measures. Zero (the default) keeps sends instantaneous.
 	NetFrameLatency time.Duration
+	// CollectSpans, when true, makes Run record one obs.OpSpan per
+	// operator instance in JobStats.Spans (the PROFILE payload). Off by
+	// default: per-instance aggregation always happens, spans only when
+	// a profile was requested.
+	CollectSpans bool
 }
 
 // NodeOf returns the node hosting partition p of an operator with n
@@ -178,6 +183,8 @@ type Emitter struct {
 	bytesShuffled *atomic.Int64
 	netMessages   *atomic.Int64
 	tuplesOut     int64
+	framesSent    int64 // frames flushed by this instance (local + remote)
+	crossBytes    int64 // cross-node bytes this instance moved
 }
 
 // Emit routes one tuple. The tuple must not be modified afterwards.
@@ -216,6 +223,7 @@ func (e *Emitter) flush(dest int) {
 		return
 	}
 	e.bufs[dest] = nil
+	e.framesSent++
 	if e.prodNode != e.consNodes[dest] {
 		n := 0
 		for _, t := range buf {
@@ -223,6 +231,7 @@ func (e *Emitter) flush(dest int) {
 		}
 		e.bytesShuffled.Add(int64(n))
 		e.netMessages.Add(1)
+		e.crossBytes += int64(n)
 		if e.netLatency > 0 {
 			// Simulated wire time; counted as send wait, not busy time.
 			t0 := time.Now()

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram is a bounded, lock-free histogram over non-negative int64
+// observations (typically nanoseconds or bytes). Values land in
+// log-linear buckets: one power-of-two range split into 4 linear
+// sub-buckets, so quantile estimates carry at most ~12.5% relative
+// error while the whole structure stays a fixed ~2 KB of atomics.
+// Observe is a few atomic adds — safe on hot paths.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	min    atomic.Int64
+	max    atomic.Int64
+}
+
+// histBuckets covers values 0..2^62: indexes 0..3 are exact, then 4
+// sub-buckets per power of two.
+const histBuckets = 252
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// bucketOf maps a value to its bucket index (monotonic in v).
+func bucketOf(v int64) int {
+	if v < 4 {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 // >= 2
+	sub := int(v>>(uint(exp)-2)) & 3
+	idx := 4*(exp-1) + sub
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketUpper returns the largest value mapping to bucket idx.
+func bucketUpper(idx int) int64 {
+	if idx < 4 {
+		return int64(idx)
+	}
+	exp := idx/4 + 1
+	sub := idx % 4
+	u := uint64(4+sub+1)<<(uint(exp)-2) - 1
+	if u > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(u)
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Quantile returns the value at quantile p in [0, 1] (an upper bound of
+// the containing bucket), or 0 with no observations.
+func (h *Histogram) Quantile(p float64) int64 {
+	total := h.count.Load()
+	if total <= 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := int64(math.Ceil(p * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i].Load()
+		if cum >= target {
+			u := bucketUpper(i)
+			if m := h.max.Load(); u > m {
+				u = m // never report beyond the observed max
+			}
+			return u
+		}
+	}
+	return h.max.Load()
+}
+
+// Snapshot summarizes the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	n := h.count.Load()
+	s := HistogramSnapshot{Count: n, Sum: h.sum.Load()}
+	if n == 0 {
+		return s
+	}
+	s.Min = h.min.Load()
+	s.Max = h.max.Load()
+	s.P50 = h.Quantile(0.50)
+	s.P95 = h.Quantile(0.95)
+	s.P99 = h.Quantile(0.99)
+	return s
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// CompileProfile breaks a query's pre-execution phases down. With a
+// plan-cache hit, the parse/translate/optimize fields are zero and
+// PlanCacheHit is true.
+type CompileProfile struct {
+	AdmissionNs  int64 `json:"admission_ns"`
+	ParseNs      int64 `json:"parse_ns"`
+	TranslateNs  int64 `json:"translate_ns"`
+	OptimizeNs   int64 `json:"optimize_ns"`
+	JobGenNs     int64 `json:"jobgen_ns"`
+	PlanCacheHit bool  `json:"plan_cache_hit"`
+}
+
+// OpSpan is the execution record of one operator instance (one
+// partition of one operator).
+type OpSpan struct {
+	Op         string `json:"op"`
+	Part       int    `json:"part"`
+	Node       int    `json:"node"`
+	WallNs     int64  `json:"wall_ns"`
+	BusyNs     int64  `json:"busy_ns"`
+	TuplesIn   int64  `json:"tuples_in"`
+	TuplesOut  int64  `json:"tuples_out"`
+	FramesSent int64  `json:"frames_sent"`
+	BytesMoved int64  `json:"bytes_moved"` // cross-node bytes only
+}
+
+// OpProfile aggregates one operator's instances: busy time and tuple
+// counts summed, wall time the slowest instance's.
+type OpProfile struct {
+	Name       string `json:"name"`
+	Instances  int    `json:"instances"`
+	WallNs     int64  `json:"wall_ns"`
+	BusyNs     int64  `json:"busy_ns"`
+	TuplesIn   int64  `json:"tuples_in"`
+	TuplesOut  int64  `json:"tuples_out"`
+	FramesSent int64  `json:"frames_sent"`
+	BytesMoved int64  `json:"bytes_moved"`
+}
+
+// SimilarityProfile carries the similarity-query work counters of one
+// execution (Table 6's candidate accounting, per query).
+type SimilarityProfile struct {
+	// OccurrenceT is the largest T-occurrence threshold any index
+	// search used (0 when no index search ran).
+	OccurrenceT int64 `json:"occurrence_t"`
+	// IndexSearches counts secondary-index probe calls.
+	IndexSearches int64 `json:"index_searches"`
+	// PostingsRead counts posting-list entries materialized.
+	PostingsRead int64 `json:"postings_read"`
+	// Candidates counts primary keys the T-occurrence merge produced.
+	Candidates int64 `json:"candidates"`
+	// Verified counts candidates that survived global verification.
+	Verified int64 `json:"verified"`
+	// CornerCaseFallbacks counts compile-time corner cases that forced
+	// a scan-based (non-index) path into the plan.
+	CornerCaseFallbacks int64 `json:"corner_case_fallbacks"`
+}
+
+// QueryProfile is the full runtime profile of one query execution, the
+// PROFILE / EXPLAIN ANALYZE payload.
+type QueryProfile struct {
+	Query       string            `json:"query"`
+	Compile     CompileProfile    `json:"compile"`
+	ExecNs      int64             `json:"exec_ns"`
+	RowsOut     int64             `json:"rows_out"`
+	Operators   []OpProfile       `json:"operators"`
+	Spans       []OpSpan          `json:"spans,omitempty"`
+	Similarity  SimilarityProfile `json:"similarity"`
+	LogicalPlan string            `json:"logical_plan,omitempty"`
+}
+
+// AggregateSpans folds per-instance spans into per-operator rows,
+// preserving first-seen operator order.
+func AggregateSpans(spans []OpSpan) []OpProfile {
+	idx := map[string]int{}
+	var out []OpProfile
+	for _, s := range spans {
+		i, ok := idx[s.Op]
+		if !ok {
+			i = len(out)
+			idx[s.Op] = i
+			out = append(out, OpProfile{Name: s.Op})
+		}
+		o := &out[i]
+		o.Instances++
+		if s.WallNs > o.WallNs {
+			o.WallNs = s.WallNs
+		}
+		o.BusyNs += s.BusyNs
+		o.TuplesIn += s.TuplesIn
+		o.TuplesOut += s.TuplesOut
+		o.FramesSent += s.FramesSent
+		o.BytesMoved += s.BytesMoved
+	}
+	return out
+}
+
+// JSON renders the profile as indented JSON.
+func (p *QueryProfile) JSON() ([]byte, error) {
+	return json.MarshalIndent(p, "", "  ")
+}
+
+// Tree renders the profile as a human-readable report: compile phases,
+// the operator table (slowest first), and the similarity counters.
+func (p *QueryProfile) Tree() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query profile (%s wall", time.Duration(p.ExecNs))
+	if p.Compile.PlanCacheHit {
+		b.WriteString(", plan cache HIT")
+	} else {
+		b.WriteString(", plan cache miss")
+	}
+	fmt.Fprintf(&b, ", %d rows)\n", p.RowsOut)
+	fmt.Fprintf(&b, "  compile: admission=%s parse=%s translate=%s optimize=%s jobgen=%s\n",
+		time.Duration(p.Compile.AdmissionNs), time.Duration(p.Compile.ParseNs),
+		time.Duration(p.Compile.TranslateNs), time.Duration(p.Compile.OptimizeNs),
+		time.Duration(p.Compile.JobGenNs))
+	ops := append([]OpProfile(nil), p.Operators...)
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].BusyNs > ops[j].BusyNs })
+	fmt.Fprintf(&b, "  %-32s %5s %12s %12s %10s %10s %8s %10s\n",
+		"operator", "inst", "wall", "busy", "in", "out", "frames", "netbytes")
+	for _, o := range ops {
+		fmt.Fprintf(&b, "  %-32s %5d %12s %12s %10d %10d %8d %10d\n",
+			o.Name, o.Instances, time.Duration(o.WallNs), time.Duration(o.BusyNs),
+			o.TuplesIn, o.TuplesOut, o.FramesSent, o.BytesMoved)
+	}
+	s := p.Similarity
+	if s.IndexSearches > 0 || s.Candidates > 0 || s.CornerCaseFallbacks > 0 {
+		fmt.Fprintf(&b, "  similarity: T=%d searches=%d postings=%d candidates=%d verified=%d corner_fallbacks=%d\n",
+			s.OccurrenceT, s.IndexSearches, s.PostingsRead, s.Candidates, s.Verified, s.CornerCaseFallbacks)
+	}
+	return b.String()
+}

@@ -12,6 +12,7 @@ import (
 
 	"simdb/internal/algebra"
 	"simdb/internal/aqlp"
+	"simdb/internal/obs"
 )
 
 // IndexMeta describes a secondary index for rule matching.
@@ -49,6 +50,18 @@ func DefaultOptions() Options {
 	return Options{UseIndexes: true, UseThreeStageJoin: true, SurrogateINLJ: true, ReuseSubplans: true}
 }
 
+// CompileStats counts notable compile-time decisions of one
+// optimization run.
+type CompileStats struct {
+	// CornerCaseFallbacks counts similarity predicates that could have
+	// used an index but kept the scan plan because of a compile-time
+	// corner case (edit-distance T <= 0, non-string constant, substring
+	// shorter than the gram length) — paper §5.1.1.
+	CornerCaseFallbacks int
+	// IndexRewrites counts access paths rewritten to use an index.
+	IndexRewrites int
+}
+
 // Optimizer rewrites logical plans.
 type Optimizer struct {
 	Catalog Catalog
@@ -56,7 +69,31 @@ type Optimizer struct {
 	Opts    Options
 	// Trace collects one line per applied rule when non-nil.
 	Trace *[]string
+	// Stats, when non-nil, collects compile-time decision counts.
+	Stats *CompileStats
 }
+
+// noteCornerCase records one compile-time corner-case fallback.
+func (o *Optimizer) noteCornerCase() {
+	if o.Stats != nil {
+		o.Stats.CornerCaseFallbacks++
+	}
+	cornerCaseCounter.Inc()
+}
+
+// noteIndexRewrite records one access path rewritten to an index plan.
+func (o *Optimizer) noteIndexRewrite() {
+	if o.Stats != nil {
+		o.Stats.IndexRewrites++
+	}
+	indexRewriteCounter.Inc()
+}
+
+// Process-wide compile counters (cheap: one atomic add per event).
+var (
+	cornerCaseCounter   = obs.C("optimizer.corner_case_fallbacks")
+	indexRewriteCounter = obs.C("optimizer.index_rewrites")
+)
 
 // rule attempts one rewrite anywhere in the plan; it returns the
 // (possibly new) root and whether anything changed.
@@ -116,6 +153,9 @@ func (o *Optimizer) Optimize(root *algebra.Op) (*algebra.Op, error) {
 					root = nr
 					if o.Trace != nil {
 						*o.Trace = append(*o.Trace, r.name)
+					}
+					if obs.Log().Enabled(obs.LevelDebug) {
+						obs.Log().Debug("optimizer rule applied", "rule", r.name)
 					}
 				}
 			}

@@ -70,6 +70,7 @@ func indexSelectionRule(o *Optimizer, root *algebra.Op) (*algebra.Op, bool, erro
 			if !ok {
 				// Edit-distance corner case (T <= 0): the optimizer
 				// "simply stops rewriting the plan" (paper §5.1.1).
+				o.noteCornerCase()
 				continue
 			}
 			// Build: Empty -> SecondarySearch -> Order(pk) -> PrimaryLookup.
@@ -93,6 +94,7 @@ func indexSelectionRule(o *Optimizer, root *algebra.Op) (*algebra.Op, bool, erro
 			if op.Inputs[0] == scan {
 				op.Inputs[0] = lookup
 			}
+			o.noteIndexRewrite()
 			return op, true, nil
 		}
 		return op, false, nil
@@ -153,6 +155,7 @@ func (o *Optimizer) tryBTreeSelection(sel, scan *algebra.Op, conj algebra.Expr) 
 	if sel.Inputs[0] == scan {
 		sel.Inputs[0] = lookup
 	}
+	o.noteIndexRewrite()
 	return true, nil
 }
 
@@ -191,7 +194,8 @@ func (o *Optimizer) tryContainsSelection(sel, scan *algebra.Op, conj algebra.Exp
 	}
 	grams := tokenizer.GramTokens(cval.Str(), ix.GramLen, false)
 	if len(grams) == 0 {
-		return false, nil // substring shorter than a gram: corner case
+		o.noteCornerCase() // substring shorter than a gram: keep the scan
+		return false, nil
 	}
 	tokens := countedTokens(grams)
 	search := algebra.NewOp(algebra.OpSecondarySearch, algebra.NewOp(algebra.OpEmpty))
@@ -214,6 +218,7 @@ func (o *Optimizer) tryContainsSelection(sel, scan *algebra.Op, conj algebra.Exp
 	if sel.Inputs[0] == scan {
 		sel.Inputs[0] = lookup
 	}
+	o.noteIndexRewrite()
 	return true, nil
 }
 
@@ -323,9 +328,17 @@ func indexJoinRule(o *Optimizer, root *algebra.Op) (*algebra.Op, bool, error) {
 			}
 			switch sc.Fn {
 			case "jaccard":
-				return o.buildJaccardINLJ(op, outer, inner, outerArg, sc, ix, conjs)
+				nop, ch, err := o.buildJaccardINLJ(op, outer, inner, outerArg, sc, ix, conjs)
+				if ch {
+					o.noteIndexRewrite()
+				}
+				return nop, ch, err
 			case "edit-distance":
-				return o.buildEditDistanceINLJ(op, outer, inner, outerArg, sc, ix, conjs)
+				nop, ch, err := o.buildEditDistanceINLJ(op, outer, inner, outerArg, sc, ix, conjs)
+				if ch {
+					o.noteIndexRewrite()
+				}
+				return nop, ch, err
 			}
 		}
 		return op, false, nil

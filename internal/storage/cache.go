@@ -23,6 +23,7 @@ type BufferCache struct {
 	hits      atomic.Int64
 	misses    atomic.Int64
 	pagesRead atomic.Int64
+	evictions atomic.Int64
 }
 
 type pageKey struct {
@@ -92,6 +93,7 @@ func (c *BufferCache) ReadRegion(fileID uint64, r io.ReaderAt, regionNo uint32, 
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
 	}
 	c.mu.Unlock()
 	return data, nil
@@ -115,6 +117,9 @@ type CacheStats struct {
 	Hits      int64
 	Misses    int64
 	PagesRead int64
+	// Evictions counts pages pushed out by capacity pressure (targeted
+	// Evict() calls after compaction are not included).
+	Evictions int64
 }
 
 // Stats returns the current counters.
@@ -123,6 +128,7 @@ func (c *BufferCache) Stats() CacheStats {
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
 		PagesRead: c.pagesRead.Load(),
+		Evictions: c.evictions.Load(),
 	}
 }
 

@@ -8,6 +8,15 @@ import (
 	"os"
 	"sort"
 	"sync/atomic"
+
+	"simdb/internal/obs"
+)
+
+// Bloom-filter effectiveness counters: negatives / checks is the rate
+// of point lookups the filter answered without touching a data page.
+var (
+	bloomChecks    = obs.C("storage.bloom.checks")
+	bloomNegatives = obs.C("storage.bloom.negatives")
 )
 
 // An on-disk component: an immutable sorted run of (key, value) entries
@@ -368,7 +377,9 @@ func (c *Component) readPage(i int) ([]byte, error) {
 // Get returns the value stored for key, a boolean for presence, or an
 // error. It consults the bloom filter first.
 func (c *Component) Get(key []byte) ([]byte, bool, error) {
+	bloomChecks.Inc()
 	if !c.bloom.MayContain(key) {
+		bloomNegatives.Inc()
 		return nil, false, nil
 	}
 	i := c.findPage(key)

@@ -16,6 +16,20 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
+
+	"simdb/internal/obs"
+)
+
+// Process-wide storage event metrics: flush/merge counts and durations
+// stream into the default registry as they happen (point-in-time state
+// like memtable size is read on demand via Stats instead).
+var (
+	flushCount = obs.C("storage.flush.count")
+	flushNs    = obs.H("storage.flush.ns")
+	flushBytes = obs.H("storage.flush.bytes")
+	mergeCount = obs.C("storage.merge.count")
+	mergeNs    = obs.H("storage.merge.ns")
 )
 
 // LSMOptions configures an LSM tree.
@@ -166,6 +180,7 @@ func (t *LSMTree) flushLocked() error {
 	if t.mem.len() == 0 {
 		return nil
 	}
+	start := time.Now()
 	path := filepath.Join(t.dir, fmt.Sprintf("c%d.cmp", t.nextSeq))
 	cw, err := NewComponentWriter(path, t.opts.PageSize)
 	if err != nil {
@@ -187,6 +202,9 @@ func (t *LSMTree) flushLocked() error {
 	t.components = append([]*Component{c}, t.components...)
 	t.nextSeq++
 	t.mem = newMemtable()
+	flushCount.Inc()
+	flushNs.Observe(time.Since(start).Nanoseconds())
+	flushBytes.Observe(c.SizeBytes())
 	return nil
 }
 
@@ -213,6 +231,7 @@ func (t *LSMTree) mergeLocked() error {
 	if len(t.components) <= 1 {
 		return nil
 	}
+	start := time.Now()
 	path := filepath.Join(t.dir, fmt.Sprintf("c%d.cmp", t.nextSeq))
 	cw, err := NewComponentWriter(path, t.opts.PageSize)
 	if err != nil {
@@ -254,6 +273,8 @@ func (t *LSMTree) mergeLocked() error {
 			return err
 		}
 	}
+	mergeCount.Inc()
+	mergeNs.Observe(time.Since(start).Nanoseconds())
 	return nil
 }
 
