@@ -5,7 +5,7 @@
 //	benchrunner all
 //
 // Experiments: table3 table4 table5 table6 fig15 fig22a fig22b fig24a
-// fig24b fig25a fig25b fig27 ablation concurrency env all
+// fig24b fig25a fig25b fig27 ablation concurrency spill env all
 package main
 
 import (
@@ -13,8 +13,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
+	"simdb/internal/aqlp"
 	"simdb/internal/bench"
 )
 
@@ -27,6 +29,7 @@ func main() {
 		joinQ   = flag.Int("joinqueries", 3, "queries averaged per join data point")
 		workDir = flag.String("dir", "", "scratch directory (default: a temp dir, removed afterwards)")
 		metrics = flag.String("metrics", "", "write the final process metrics snapshot as JSON to this file (\"-\" for stdout)")
+		budgets = flag.String("membudget", "", "comma-separated per-query memory budgets for the spill sweep (e.g. \"0,16m,2m,256k\"; 0 = unlimited)")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -49,6 +52,15 @@ func main() {
 	env.PartsPerNode = *parts
 	env.SelQueries = *selQ
 	env.JoinQueries = *joinQ
+	if *budgets != "" {
+		for _, s := range strings.Split(*budgets, ",") {
+			b, err := aqlp.ParseMemorySize(strings.TrimSpace(s))
+			if err != nil {
+				fatal(fmt.Errorf("-membudget %q: %w", s, err))
+			}
+			env.MemBudgets = append(env.MemBudgets, b)
+		}
+	}
 	defer env.Close()
 
 	for _, name := range flag.Args() {

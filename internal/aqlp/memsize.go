@@ -1,0 +1,38 @@
+package aqlp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseMemorySize parses a human-readable memory size as used by
+// `set memorybudget '32m';` and the benchrunner's -membudget flag:
+// an integer with an optional k/m/g suffix (an optional trailing "b"
+// is accepted: "64kb" == "64k"). The words "unlimited", "off", "none"
+// and the value "0" all mean no budget and return 0.
+func ParseMemorySize(s string) (int64, error) {
+	t := strings.ToLower(strings.TrimSpace(s))
+	switch t {
+	case "unlimited", "off", "none", "0":
+		return 0, nil
+	}
+	mult := int64(1)
+	t = strings.TrimSuffix(t, "b")
+	switch {
+	case strings.HasSuffix(t, "k"):
+		mult = 1 << 10
+		t = t[:len(t)-1]
+	case strings.HasSuffix(t, "m"):
+		mult = 1 << 20
+		t = t[:len(t)-1]
+	case strings.HasSuffix(t, "g"):
+		mult = 1 << 30
+		t = t[:len(t)-1]
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("aqlp: bad memory size %q (want e.g. 64m, 512k, unlimited)", s)
+	}
+	return n * mult, nil
+}

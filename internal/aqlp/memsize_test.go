@@ -1,0 +1,43 @@
+package aqlp
+
+import "testing"
+
+func TestParseMemorySize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"0", 0, false},
+		{"unlimited", 0, false},
+		{"OFF", 0, false},
+		{"none", 0, false},
+		{"1024", 1024, false},
+		{"64k", 64 << 10, false},
+		{"64kb", 64 << 10, false},
+		{"32m", 32 << 20, false},
+		{"32M", 32 << 20, false},
+		{"2g", 2 << 30, false},
+		{" 512k ", 512 << 10, false},
+		{"", 0, true},
+		{"abc", 0, true},
+		{"-5m", 0, true},
+		{"12q", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseMemorySize(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseMemorySize(%q): want error, got %d", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseMemorySize(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseMemorySize(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

@@ -43,6 +43,9 @@ type Env struct {
 	// ReportDir receives machine-readable experiment outputs
 	// (BENCH_*.json); empty means the current directory.
 	ReportDir string
+	// MemBudgets are the per-query memory budgets (bytes) the spill
+	// sweep measures; 0 means unlimited. Empty takes the default sweep.
+	MemBudgets []int64
 
 	db     *core.Database
 	loaded map[datagen.Kind]int

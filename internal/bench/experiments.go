@@ -33,6 +33,7 @@ func (e *Env) Run(name string) error {
 		{"fig27", e.Fig27},
 		{"ablation", e.Ablations},
 		{"concurrency", e.Concurrency},
+		{"spill", e.SpillSweep},
 	}
 	if name == "all" {
 		for _, x := range exps {

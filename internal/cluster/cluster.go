@@ -3,12 +3,14 @@ package cluster
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"simdb/internal/adm"
+	"simdb/internal/aqlp"
 	"simdb/internal/invindex"
 	"simdb/internal/obs"
 	"simdb/internal/optimizer"
@@ -26,6 +28,10 @@ type Cluster struct {
 	autoPK    atomic.Int64
 	tOccAlgo  atomic.Int32
 	simNetLat atomic.Int64 // nanoseconds of simulated cross-node frame latency
+
+	// querySeq numbers query executions; each budgeted query's spill
+	// run files live under DataDir/tmp/q<seq>.
+	querySeq atomic.Int64
 
 	// slowThresh is the slow-query log latency threshold in nanoseconds
 	// (0 = disabled); slowLog renders the records.
@@ -49,11 +55,22 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.DataDir == "" {
 		return nil, fmt.Errorf("cluster: DataDir is required")
 	}
+	if cfg.QueryMemoryBudget == 0 {
+		// The CI low-memory job forces spill paths under the whole test
+		// suite through this; an explicit config wins over it.
+		if env := os.Getenv("SIMDB_TEST_MEMORY_BUDGET"); env != "" {
+			if b, err := aqlp.ParseMemorySize(env); err == nil {
+				cfg.QueryMemoryBudget = b
+			} else {
+				return nil, fmt.Errorf("cluster: SIMDB_TEST_MEMORY_BUDGET: %w", err)
+			}
+		}
+	}
 	c := &Cluster{
 		cfg:       cfg,
 		Catalog:   NewCatalog(),
 		planCache: NewPlanCache(cfg.PlanCacheSize),
-		qm:        newQueryManager(cfg.MaxConcurrentQueries, cfg.QueryTimeout),
+		qm:        newQueryManager(cfg.MaxConcurrentQueries, cfg.QueryTimeout, cfg.ClusterMemoryBudget),
 		slowLog:   obs.NewLogger(os.Stderr, obs.LevelInfo),
 	}
 	c.tOccAlgo.Store(int32(cfg.TOccurrenceAlgorithm))
@@ -72,7 +89,8 @@ func New(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
-// Close shuts down every node.
+// Close shuts down every node and sweeps any leftover spill temp
+// directories (normally already removed per query).
 func (c *Cluster) Close() error {
 	var first error
 	for _, n := range c.nodes {
@@ -83,7 +101,15 @@ func (c *Cluster) Close() error {
 			first = err
 		}
 	}
+	if err := os.RemoveAll(c.spillTmpRoot()); err != nil && first == nil {
+		first = err
+	}
 	return first
+}
+
+// spillTmpRoot is the base directory for per-query spill run files.
+func (c *Cluster) spillTmpRoot() string {
+	return filepath.Join(c.cfg.DataDir, "tmp")
 }
 
 // Config returns the effective configuration.

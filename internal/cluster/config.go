@@ -51,6 +51,21 @@ type Config struct {
 	// structured JSON log line for every query whose total wall time
 	// (admission + compile + execution) reaches it. 0 disables the log.
 	SlowQueryThreshold time.Duration
+	// QueryMemoryBudget bounds each query's operator working memory in
+	// bytes: blocking operators (sort, hash join, group-by, materialize)
+	// draw grants against it and spill runs to disk past it. 0 (the
+	// default) disables budgets entirely — the legacy in-memory behavior.
+	// Sessions override per connection via `set memorybudget '32m';`.
+	// Positive budgets are clamped up to hyracks.MinQueryMemory. When 0,
+	// the SIMDB_TEST_MEMORY_BUDGET environment variable (same syntax)
+	// supplies a default — the CI low-memory job uses it to force spill
+	// paths under the whole test suite.
+	QueryMemoryBudget int64
+	// ClusterMemoryBudget, when positive, bounds the SUM of admitted
+	// queries' budgets: admission holds a query until enough budgeted
+	// memory is free (FIFO). It only gates queries that have a per-query
+	// budget; unbudgeted queries claim nothing. 0 disables the pool.
+	ClusterMemoryBudget int64
 }
 
 // WithDefaults fills unset fields.

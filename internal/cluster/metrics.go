@@ -46,6 +46,12 @@ func (c *Cluster) logSlowQuery(src string, wallNs int64, res *Result, err error)
 			"plan_cache_hit", st.PlanCacheHit,
 			"rows", len(res.Rows),
 		)
+		if st.MemBudget > 0 {
+			kv = append(kv, "mem_budget", st.MemBudget, "mem_high_water", st.MemHighWater)
+		}
+		if st.SpillRuns > 0 {
+			kv = append(kv, "spill_runs", st.SpillRuns, "spilled_bytes", st.SpilledBytes)
+		}
 		if st.IndexSearches > 0 {
 			kv = append(kv,
 				"occurrence_t", st.OccurrenceT,
@@ -121,6 +127,11 @@ func (c *Cluster) Metrics() obs.Snapshot {
 	r.Gauge("querymanager.timed_out").Set(qs.TimedOut)
 	r.Gauge("querymanager.active").Set(qs.Active)
 	r.Gauge("querymanager.peak_active").Set(qs.PeakActive)
+	if qs.MemCapacity > 0 {
+		r.Gauge("querymanager.mem_capacity").Set(qs.MemCapacity)
+		r.Gauge("querymanager.mem_used").Set(qs.MemUsed)
+		r.Gauge("querymanager.mem_waiting").Set(int64(qs.MemWaiting))
+	}
 
 	return r.Snapshot()
 }

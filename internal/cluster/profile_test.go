@@ -147,8 +147,8 @@ func TestSetProfileRejectsJunk(t *testing.T) {
 }
 
 func TestAdmissionTypedErrors(t *testing.T) {
-	m := newQueryManager(1, 0)
-	_, rel, _, err := m.admit(context.Background())
+	m := newQueryManager(1, 0, 0)
+	_, rel, _, err := m.admit(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,7 @@ func TestAdmissionTypedErrors(t *testing.T) {
 	// Second caller with a deadline: admission times out.
 	shortCtx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
-	_, _, _, err = m.admit(shortCtx)
+	_, _, _, err = m.admit(shortCtx, 0)
 	if !errors.Is(err, ErrAdmissionTimeout) {
 		t.Fatalf("err = %v, want ErrAdmissionTimeout", err)
 	}
@@ -170,7 +170,7 @@ func TestAdmissionTypedErrors(t *testing.T) {
 	// Third caller abandons the wait: canceled, not timed out.
 	canceledCtx, cancelNow := context.WithCancel(context.Background())
 	cancelNow()
-	_, _, _, err = m.admit(canceledCtx)
+	_, _, _, err = m.admit(canceledCtx, 0)
 	if !errors.Is(err, ErrAdmissionCanceled) {
 		t.Fatalf("err = %v, want ErrAdmissionCanceled", err)
 	}
@@ -188,8 +188,8 @@ func TestAdmissionTypedErrors(t *testing.T) {
 }
 
 func TestReleaseClassifiesExecutionTimeout(t *testing.T) {
-	m := newQueryManager(1, time.Millisecond)
-	qctx, rel, _, err := m.admit(context.Background())
+	m := newQueryManager(1, time.Millisecond, 0)
+	qctx, rel, _, err := m.admit(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +206,7 @@ func TestReleaseClassifiesExecutionTimeout(t *testing.T) {
 	// An error with the caller's own context done is NOT an execution
 	// timeout: the client went away.
 	ctx, cancel := context.WithCancel(context.Background())
-	qctx2, rel2, _, err := m.admit(ctx)
+	qctx2, rel2, _, err := m.admit(ctx, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"simdb/internal/hyracks"
 	"simdb/internal/obs"
 	"simdb/internal/optimizer"
+	"simdb/internal/storage"
 )
 
 // QueryStats reports one query's execution profile.
@@ -39,6 +41,15 @@ type QueryStats struct {
 	MaxNodeTuples int64
 	BytesShuffled int64
 	NetMessages   int64
+
+	// MemBudget is the operator memory budget the query ran under (0 =
+	// unlimited); MemHighWater is the accountant's peak reservation and
+	// SpillRuns/SpilledBytes total the run files operators wrote past the
+	// budget. All zero for unbudgeted queries.
+	MemBudget    int64
+	MemHighWater int64
+	SpillRuns    int64
+	SpilledBytes int64
 
 	IndexSearches   int64
 	CandidatesTotal int64
@@ -84,6 +95,11 @@ type Session struct {
 	// result (`set profile 'on';`). Off by default: span collection only
 	// happens when a profile was asked for.
 	Profile bool
+	// MemoryBudget is this session's per-query operator memory budget:
+	// 0 inherits Config.QueryMemoryBudget, a positive value overrides it,
+	// and -1 (`set memorybudget 'unlimited';`) disables budgeting even
+	// when the config sets a default.
+	MemoryBudget int64
 	// Opts overrides the optimizer options; nil means defaults.
 	Opts *optimizer.Options
 }
@@ -99,22 +115,46 @@ type sessionState struct {
 	SimFunction  string
 	SimThreshold string
 	Profile      bool
+	MemoryBudget int64
 	Opts         optimizer.Options
 }
 
-// snapshotSession captures the compile-relevant session state.
-func snapshotSession(s *Session) sessionState {
+// snapshotSession captures the compile-relevant session state. The
+// session's memory budget resolves against the cluster default into
+// Opts.MemoryBudgetBytes, so budget-aware optimizer rules see the
+// effective value and the plan-cache key separates plans compiled under
+// different budgets.
+func (c *Cluster) snapshotSession(s *Session) sessionState {
 	st := sessionState{
 		Dataverse:    s.Dataverse,
 		SimFunction:  s.SimFunction,
 		SimThreshold: s.SimThreshold,
 		Profile:      s.Profile,
+		MemoryBudget: s.MemoryBudget,
 		Opts:         optimizer.DefaultOptions(),
 	}
 	if s.Opts != nil {
 		st.Opts = *s.Opts
 	}
+	if st.Opts.MemoryBudgetBytes == 0 {
+		st.Opts.MemoryBudgetBytes = c.resolveMemoryBudget(s.MemoryBudget)
+	} else if st.Opts.MemoryBudgetBytes < 0 {
+		st.Opts.MemoryBudgetBytes = 0
+	}
 	return st
+}
+
+// resolveMemoryBudget turns a session budget into the effective
+// per-query budget in bytes (0 = unlimited).
+func (c *Cluster) resolveMemoryBudget(sessBudget int64) int64 {
+	switch {
+	case sessBudget < 0:
+		return 0
+	case sessBudget > 0:
+		return sessBudget
+	default:
+		return c.cfg.QueryMemoryBudget
+	}
 }
 
 // Execute runs a full AQL request — statements then an optional query —
@@ -129,7 +169,9 @@ func (c *Cluster) Execute(ctx context.Context, sess *Session, src string) (*Resu
 	}
 	t0 := time.Now()
 	queriesTotal.Inc()
-	qctx, release, admitNs, err := c.qm.admit(ctx)
+	// Admission charges the budget in effect at request entry; a `set
+	// memorybudget` inside this request applies from the next one.
+	qctx, release, admitNs, err := c.qm.admit(ctx, c.snapshotSession(sess).Opts.MemoryBudgetBytes)
 	if err != nil {
 		queryErrors.Inc()
 		return nil, err
@@ -158,7 +200,7 @@ func (c *Cluster) execute(ctx context.Context, sess *Session, src string, admitN
 		simFunction:  sess.SimFunction,
 		simThreshold: sess.SimThreshold,
 		profile:      sess.Profile,
-		opts:         snapshotSession(sess).Opts,
+		opts:         c.snapshotSession(sess).Opts,
 	}
 	// Epoch is read before the lookup AND before any compile below: an
 	// entry stored under this epoch can never reflect catalog state
@@ -172,6 +214,7 @@ func (c *Cluster) execute(ctx context.Context, sess *Session, src string, admitN
 		sess.SimFunction = e.post.SimFunction
 		sess.SimThreshold = e.post.SimThreshold
 		sess.Profile = e.post.Profile
+		sess.MemoryBudget = e.post.MemoryBudget
 		stats := &QueryStats{
 			AdmissionNs:         admitNs,
 			PlanCacheHit:        true,
@@ -181,7 +224,7 @@ func (c *Cluster) execute(ctx context.Context, sess *Session, src string, admitN
 			CornerCaseFallbacks: e.cornerCases,
 		}
 		plan, _ := algebra.Copy(e.plan, &algebra.VarAlloc{})
-		return c.runJob(ctx, plan, stats, src, e.post.Profile)
+		return c.runJob(ctx, plan, stats, src, e.post.Profile, e.post.Opts.MemoryBudgetBytes)
 	}
 
 	t0 := time.Now()
@@ -210,7 +253,7 @@ func (c *Cluster) execute(ctx context.Context, sess *Session, src string, admitN
 		return &Result{Stats: QueryStats{AdmissionNs: admitNs, ParseNs: parseNs}}, nil
 	}
 
-	st := snapshotSession(sess)
+	st := c.snapshotSession(sess)
 	plan, stats, err := c.compileState(st, q.Body)
 	if err != nil {
 		return nil, err
@@ -231,7 +274,7 @@ func (c *Cluster) execute(ctx context.Context, sess *Session, src string, admitN
 			cornerCases: stats.CornerCaseFallbacks,
 		})
 	}
-	return c.runJob(ctx, plan, stats, src, st.Profile)
+	return c.runJob(ctx, plan, stats, src, st.Profile, st.Opts.MemoryBudgetBytes)
 }
 
 func (c *Cluster) executeStmt(sess *Session, stmt aqlp.Stmt) error {
@@ -256,6 +299,17 @@ func (c *Cluster) executeStmt(sess *Session, stmt aqlp.Stmt) error {
 				sess.Profile = false
 			default:
 				return fmt.Errorf("cluster: set profile wants on/off, got %q", s.Val)
+			}
+		case "memorybudget":
+			b, err := aqlp.ParseMemorySize(s.Val)
+			if err != nil {
+				return fmt.Errorf("cluster: set memorybudget: %w", err)
+			}
+			if b == 0 {
+				// Explicitly unlimited, overriding any configured default.
+				sess.MemoryBudget = -1
+			} else {
+				sess.MemoryBudget = b
 			}
 		default:
 			return fmt.Errorf("cluster: unknown set property %q", s.Key)
@@ -316,7 +370,7 @@ func (c *Cluster) Compile(sess *Session, body aqlp.Node) (*algebra.Op, *QuerySta
 	if sess == nil {
 		sess = NewSession()
 	}
-	return c.compileState(snapshotSession(sess), body)
+	return c.compileState(c.snapshotSession(sess), body)
 }
 
 // compileState translates and optimizes against an immutable session
@@ -356,8 +410,11 @@ func (c *Cluster) compileState(st sessionState, body aqlp.Node) (*algebra.Op, *Q
 // runJob generates and executes the hyracks job for a compiled plan,
 // filling in the runtime half of stats. With profile set, the runtime
 // collects one span per operator instance and the result carries the
-// assembled QueryProfile.
-func (c *Cluster) runJob(ctx context.Context, plan *algebra.Op, stats *QueryStats, src string, profile bool) (*Result, error) {
+// assembled QueryProfile. A positive memBudget runs the job under a
+// memory accountant with a per-query spill directory; the directory is
+// removed before returning on every path (success, error, cancel,
+// timeout, panic).
+func (c *Cluster) runJob(ctx context.Context, plan *algebra.Op, stats *QueryStats, src string, profile bool, memBudget int64) (*Result, error) {
 	counters := &QueryCounters{}
 	t0 := time.Now()
 	job, collector, err := c.GenerateJob(plan, counters)
@@ -372,7 +429,19 @@ func (c *Cluster) runJob(ctx context.Context, plan *algebra.Op, stats *QueryStat
 		NetFrameLatency: time.Duration(c.simNetLat.Load()),
 		CollectSpans:    profile,
 	}
+	if acct := hyracks.NewMemoryAccountant(memBudget); acct != nil {
+		spill := storage.NewRunFileManager(
+			filepath.Join(c.spillTmpRoot(), fmt.Sprintf("q%d", c.querySeq.Add(1))))
+		defer spill.Close()
+		topo.Mem = acct
+		topo.Spill = spill
+		stats.MemBudget = acct.Budget()
+	}
 	jstats, err := hyracks.Run(ctx, job, topo)
+	if topo.Mem != nil {
+		stats.MemHighWater = topo.Mem.HighWater()
+		stats.SpillRuns, stats.SpilledBytes = jstats.SpillTotals()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -432,14 +501,16 @@ func buildProfile(src string, stats *QueryStats, jstats *hyracks.JobStats, rows 
 	}
 	for _, op := range jstats.Ops {
 		p.Operators = append(p.Operators, obs.OpProfile{
-			Name:       op.Name,
-			Instances:  op.Instances,
-			WallNs:     op.WallNs,
-			BusyNs:     op.BusyNs,
-			TuplesIn:   op.TuplesIn,
-			TuplesOut:  op.TuplesOut,
-			FramesSent: op.FramesSent,
-			BytesMoved: op.BytesMoved,
+			Name:         op.Name,
+			Instances:    op.Instances,
+			WallNs:       op.WallNs,
+			BusyNs:       op.BusyNs,
+			TuplesIn:     op.TuplesIn,
+			TuplesOut:    op.TuplesOut,
+			FramesSent:   op.FramesSent,
+			BytesMoved:   op.BytesMoved,
+			SpillRuns:    op.SpillRuns,
+			SpilledBytes: op.SpilledBytes,
 		})
 	}
 	return p

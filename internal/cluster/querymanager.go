@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -28,6 +29,12 @@ var (
 type QueryManager struct {
 	sem     chan struct{}
 	timeout time.Duration
+	// mem, when non-nil, additionally gates admission on budgeted query
+	// memory: the sum of admitted queries' budgets stays within the
+	// cluster budget. Acquisition order is always slot THEN memory, so
+	// two queries can never hold one resource each while waiting on the
+	// other.
+	mem *memPool
 
 	admitted  atomic.Int64
 	completed atomic.Int64
@@ -40,33 +47,137 @@ type QueryManager struct {
 
 // newQueryManager builds a manager admitting at most maxConcurrent
 // queries at a time (<= 0 means the default of 64) with an optional
-// per-query timeout (0 means none).
-func newQueryManager(maxConcurrent int, timeout time.Duration) *QueryManager {
+// per-query timeout (0 means none) and an optional cluster-wide pool of
+// budgeted query memory (0 means ungated).
+func newQueryManager(maxConcurrent int, timeout time.Duration, memBudget int64) *QueryManager {
 	if maxConcurrent <= 0 {
 		maxConcurrent = 64
 	}
-	return &QueryManager{
+	m := &QueryManager{
 		sem:     make(chan struct{}, maxConcurrent),
 		timeout: timeout,
 	}
+	if memBudget > 0 {
+		m.mem = &memPool{capacity: memBudget}
+	}
+	return m
 }
 
-// admit blocks until a slot frees up or ctx is done. On success it
-// returns the (possibly deadline-wrapped) query context, a release
-// function, and the time spent waiting for admission. release
-// classifies the query's outcome: it returns the error as-is, or
-// wrapped in ErrQueryTimeout when the per-query deadline (not the
-// caller's context) killed the execution.
-func (m *QueryManager) admit(ctx context.Context) (context.Context, func(err error) error, int64, error) {
+// memWaiter is one admission wait queued on the memory pool.
+type memWaiter struct {
+	need    int64
+	ready   chan struct{}
+	granted bool
+}
+
+// memPool is a FIFO pool of budgeted query memory. FIFO (rather than
+// best-fit) keeps large-budget queries from starving behind a stream of
+// small ones.
+type memPool struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	waiters  []*memWaiter
+}
+
+// acquire blocks until need bytes are free (or ctx is done). Demands
+// above the pool capacity are clamped to it, so an oversized budget
+// waits for an idle pool instead of deadlocking.
+func (p *memPool) acquire(ctx context.Context, need int64) error {
+	if need > p.capacity {
+		need = p.capacity
+	}
+	p.mu.Lock()
+	if len(p.waiters) == 0 && p.used+need <= p.capacity {
+		p.used += need
+		p.mu.Unlock()
+		return nil
+	}
+	w := &memWaiter{need: need, ready: make(chan struct{})}
+	p.waiters = append(p.waiters, w)
+	p.mu.Unlock()
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		p.mu.Lock()
+		if w.granted {
+			// The grant raced the cancellation: give it straight back.
+			p.used -= need
+			p.grantLocked()
+		} else {
+			for i, q := range p.waiters {
+				if q == w {
+					p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+					break
+				}
+			}
+		}
+		p.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// release returns need bytes (clamped like acquire) and wakes waiters.
+func (p *memPool) release(need int64) {
+	if need > p.capacity {
+		need = p.capacity
+	}
+	p.mu.Lock()
+	p.used -= need
+	p.grantLocked()
+	p.mu.Unlock()
+}
+
+// grantLocked admits queued waiters in FIFO order while they fit.
+func (p *memPool) grantLocked() {
+	for len(p.waiters) > 0 {
+		w := p.waiters[0]
+		if p.used+w.need > p.capacity {
+			return
+		}
+		p.used += w.need
+		p.waiters = p.waiters[1:]
+		w.granted = true
+		close(w.ready)
+	}
+}
+
+// snapshot reads the pool's state for stats.
+func (p *memPool) snapshot() (used int64, waiting int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.used, len(p.waiters)
+}
+
+// admit blocks until a slot frees up (and, when a cluster memory pool
+// is configured, until memBudget bytes of budgeted query memory are
+// free) or ctx is done. On success it returns the (possibly
+// deadline-wrapped) query context, a release function, and the time
+// spent waiting for admission. release classifies the query's outcome:
+// it returns the error as-is, or wrapped in ErrQueryTimeout when the
+// per-query deadline (not the caller's context) killed the execution.
+func (m *QueryManager) admit(ctx context.Context, memBudget int64) (context.Context, func(err error) error, int64, error) {
 	t0 := time.Now()
+	reject := func() error {
+		m.rejected.Add(1)
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return fmt.Errorf("%w: %w", ErrAdmissionTimeout, ctx.Err())
+		}
+		return fmt.Errorf("%w: %w", ErrAdmissionCanceled, ctx.Err())
+	}
 	select {
 	case m.sem <- struct{}{}:
 	case <-ctx.Done():
-		m.rejected.Add(1)
-		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-			return nil, nil, 0, fmt.Errorf("%w: %w", ErrAdmissionTimeout, ctx.Err())
+		return nil, nil, 0, reject()
+	}
+	memHeld := int64(0)
+	if m.mem != nil && memBudget > 0 {
+		if err := m.mem.acquire(ctx, memBudget); err != nil {
+			<-m.sem
+			return nil, nil, 0, reject()
 		}
-		return nil, nil, 0, fmt.Errorf("%w: %w", ErrAdmissionCanceled, ctx.Err())
+		memHeld = memBudget
 	}
 	waitNs := time.Since(t0).Nanoseconds()
 	m.admitted.Add(1)
@@ -97,6 +208,9 @@ func (m *QueryManager) admit(ctx context.Context) (context.Context, func(err err
 		} else {
 			m.completed.Add(1)
 		}
+		if memHeld > 0 {
+			m.mem.release(memHeld)
+		}
 		<-m.sem
 		return err
 	}
@@ -113,11 +227,15 @@ type QueryManagerStats struct {
 	Active     int64 // currently executing
 	PeakActive int64 // high-water mark of concurrent execution
 	MaxActive  int   // the admission bound
+	// Memory-pool state (zero when no cluster memory budget is set).
+	MemCapacity int64 // the cluster budget for admitted query memory
+	MemUsed     int64 // budgeted memory of currently admitted queries
+	MemWaiting  int   // queries queued waiting for budgeted memory
 }
 
 // Stats returns the current counters.
 func (m *QueryManager) Stats() QueryManagerStats {
-	return QueryManagerStats{
+	s := QueryManagerStats{
 		Admitted:   m.admitted.Load(),
 		Completed:  m.completed.Load(),
 		Failed:     m.failed.Load(),
@@ -127,4 +245,9 @@ func (m *QueryManager) Stats() QueryManagerStats {
 		PeakActive: m.peak.Load(),
 		MaxActive:  cap(m.sem),
 	}
+	if m.mem != nil {
+		s.MemCapacity = m.mem.capacity
+		s.MemUsed, s.MemWaiting = m.mem.snapshot()
+	}
+	return s
 }

@@ -62,6 +62,13 @@ type Config struct {
 	// SlowQueryThreshold logs any query slower than this as one
 	// structured JSON line on stderr; 0 disables the slow-query log.
 	SlowQueryThreshold time.Duration
+	// QueryMemoryBudget bounds each query's operator working memory in
+	// bytes; blocking operators spill to disk past it. 0 = unlimited
+	// (sessions can still `set memorybudget '32m';` per connection).
+	QueryMemoryBudget int64
+	// ClusterMemoryBudget, when positive, bounds the total budgeted
+	// memory of concurrently admitted queries; excess queries queue.
+	ClusterMemoryBudget int64
 }
 
 // Database is an open SimDB instance.
@@ -111,6 +118,8 @@ func Open(cfg Config) (*Database, error) {
 		QueryTimeout:            cfg.QueryTimeout,
 		PlanCacheSize:           cfg.PlanCacheSize,
 		SlowQueryThreshold:      cfg.SlowQueryThreshold,
+		QueryMemoryBudget:       cfg.QueryMemoryBudget,
+		ClusterMemoryBudget:     cfg.ClusterMemoryBudget,
 	})
 	if err != nil {
 		return nil, err

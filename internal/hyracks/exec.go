@@ -22,6 +22,10 @@ type OpStats struct {
 	WallNs     int64
 	FramesSent int64
 	BytesMoved int64
+	// SpillRuns and SpilledBytes count runs written to temp storage when
+	// the operator exceeded its memory grant (0 when everything fit).
+	SpillRuns    int64
+	SpilledBytes int64
 }
 
 // JobStats summarizes one job execution: real wall time, per-node
@@ -44,6 +48,15 @@ type JobStats struct {
 	// Spans holds one record per operator instance, populated only when
 	// Topology.CollectSpans is set (PROFILE queries).
 	Spans []obs.OpSpan
+}
+
+// SpillTotals returns the job-wide spill run and byte counts.
+func (s *JobStats) SpillTotals() (runs, bytes int64) {
+	for _, op := range s.Ops {
+		runs += op.SpillRuns
+		bytes += op.SpilledBytes
+	}
+	return runs, bytes
 }
 
 // MaxNodeTuples returns the busiest node's tuple count.
@@ -244,7 +257,8 @@ func Run(ctx context.Context, job *Job, topo Topology) (*JobStats, error) {
 
 				t0 := time.Now()
 				op := n.Make()
-				err := op.Run(&TaskCtx{Ctx: runCtx, Part: p, Node: node}, ins, outs)
+				tc := &TaskCtx{Ctx: runCtx, Part: p, Node: node, Mem: topo.Mem, Spill: topo.Spill}
+				err := op.Run(tc, ins, outs)
 				// Drain unread input so upstream producers can finish,
 				// then close outputs.
 				for _, pr := range ins {
@@ -278,6 +292,8 @@ func Run(ctx context.Context, job *Job, topo Topology) (*JobStats, error) {
 				agg.BusyNs += busy
 				agg.FramesSent += frames
 				agg.BytesMoved += crossBytes
+				agg.SpillRuns += tc.SpillRuns
+				agg.SpilledBytes += tc.SpilledBytes
 				if wall > agg.WallNs {
 					agg.WallNs = wall
 				}
@@ -287,6 +303,7 @@ func Run(ctx context.Context, job *Job, topo Topology) (*JobStats, error) {
 						WallNs: wall, BusyNs: busy,
 						TuplesIn: tuplesIn, TuplesOut: tuplesOut,
 						FramesSent: frames, BytesMoved: crossBytes,
+						SpillRuns: tc.SpillRuns, SpilledBytes: tc.SpilledBytes,
 					})
 				}
 				statsMu.Unlock()

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"simdb/internal/adm"
+	"simdb/internal/storage"
 )
 
 // ConnType enumerates the connector kinds of the paper's plans.
@@ -117,7 +118,24 @@ type TaskCtx struct {
 	Ctx  context.Context
 	Part int // instance index within the operator
 	Node int // node hosting this instance
+
+	// Mem is the query's memory accountant; nil means unlimited (the
+	// legacy in-memory behavior). Blocking operators draw grants from it
+	// and spill when a reservation fails.
+	Mem *MemoryAccountant
+	// Spill manages this query's temp run files; nil disables spilling
+	// even under a budget (operators then Force past it).
+	Spill *storage.RunFileManager
+
+	// SpillRuns and SpilledBytes count this instance's spill activity.
+	// They are owned by the instance goroutine and harvested by the
+	// executor after Run returns.
+	SpillRuns    int64
+	SpilledBytes int64
 }
+
+// canSpill reports whether this instance may write spill runs.
+func (ctx *TaskCtx) canSpill() bool { return ctx.Mem != nil && ctx.Spill != nil }
 
 // Topology describes the simulated cluster layout for a job run.
 type Topology struct {
@@ -136,6 +154,12 @@ type Topology struct {
 	// default: per-instance aggregation always happens, spans only when
 	// a profile was requested.
 	CollectSpans bool
+	// Mem, when non-nil, enforces a query-wide memory budget on blocking
+	// operators (shared by all instances of all operators in the job).
+	Mem *MemoryAccountant
+	// Spill, when non-nil, provides the temp run-file store operators
+	// spill to once Mem denies a reservation.
+	Spill *storage.RunFileManager
 }
 
 // NodeOf returns the node hosting partition p of an operator with n

@@ -70,25 +70,19 @@ func MapStateful[S any](
 	}
 }
 
-// Sort consumes all input, sorts it by cols, and emits it. In-memory,
-// per partition; a MergeOne/HashMerge connector downstream extends the
-// order across partitions.
+// Sort consumes all input, sorts it by cols, and emits it. Per
+// partition; a MergeOne/HashMerge connector downstream extends the
+// order across partitions. Under a memory budget it runs as an external
+// merge sort — sorted runs spill to disk and a stable k-way merge
+// produces the output — so the sort stays stable and byte-identical to
+// the in-memory path at any budget.
 func Sort(cols []SortCol) func() Operator {
 	return func() Operator {
 		return OpFunc(func(ctx *TaskCtx, in []*PortReader, out []*Emitter) error {
-			var all []Tuple
-			for {
-				t, ok := in[0].Next()
-				if !ok {
-					break
-				}
-				all = append(all, t)
-			}
-			sortTuples(all, cols)
-			for _, t := range all {
+			return externalSort(ctx, in[0], cols, func(t Tuple) error {
 				out[0].Emit(t)
-			}
-			return ctx.Ctx.Err()
+				return ctx.Ctx.Err()
+			})
 		})
 	}
 }
@@ -248,63 +242,68 @@ func (a *aggState) result(spec AggSpec) adm.Value {
 	return adm.Null
 }
 
+// merge folds o into a, where a aggregated tuples that all arrived
+// before o's (the spilling group-by merges a partition's resident state
+// with the re-aggregated state of its later, spilled tuples).
+func (a *aggState) merge(spec AggSpec, o *aggState) {
+	switch spec.Kind {
+	case AggCount:
+		a.count += o.count
+	case AggSum, AggAvg:
+		if !o.has {
+			return
+		}
+		if !a.has {
+			*a = *o
+			return
+		}
+		a.count += o.count
+		a.sum += o.sum
+		a.sumI += o.sumI
+		a.isInt = a.isInt && o.isInt
+	case AggMin:
+		if o.has && (!a.has || adm.Less(o.min, a.min)) {
+			a.min = o.min
+			a.has = true
+		}
+	case AggMax:
+		if o.has && (!a.has || adm.Less(a.max, o.max)) {
+			a.max = o.max
+			a.has = true
+		}
+	case AggListify:
+		a.list = append(a.list, o.list...)
+	case AggFirst:
+		if !a.has && o.has {
+			a.first = o.first
+			a.has = true
+		}
+	}
+}
+
 // HashGroup groups input by the key columns using a hash table and
 // emits one tuple per group: key columns followed by one column per
 // aggregate. Input must already be partitioned by the keys (Hash
 // connector) for global correctness; the "/*+ hash */" hint of the
 // paper's stage 1 maps here.
+// Under a memory budget, HashGroup spills: tuples hash into partitions,
+// and a partition whose table can no longer grow keeps its aggregated
+// groups resident while routing further raw tuples to a run file; the
+// run re-aggregates recursively and merges with the retained state.
 func HashGroup(keys []int, aggs []AggSpec) func() Operator {
 	return func() Operator {
 		return OpFunc(func(ctx *TaskCtx, in []*PortReader, out []*Emitter) error {
-			type group struct {
-				key  Tuple
-				aggs []aggState
+			g := ctx.Grant()
+			defer g.ReleaseAll()
+			e := &groupByExec{
+				ctx: ctx, g: g, keys: keys, specs: aggs,
+				emit: func(t Tuple) error {
+					out[0].Emit(t)
+					return nil
+				},
 			}
-			groups := make(map[uint64][]*group)
-			for {
-				t, ok := in[0].Next()
-				if !ok {
-					break
-				}
-				h := uint64(0x12345)
-				for _, k := range keys {
-					h = adm.HashSeed(h, t[k])
-				}
-				var g *group
-				for _, cand := range groups[h] {
-					match := true
-					for i, k := range keys {
-						if !adm.Equal(cand.key[i], t[k]) {
-							match = false
-							break
-						}
-					}
-					if match {
-						g = cand
-						break
-					}
-				}
-				if g == nil {
-					key := make(Tuple, len(keys))
-					for i, k := range keys {
-						key[i] = t[k]
-					}
-					g = &group{key: key, aggs: make([]aggState, len(aggs))}
-					groups[h] = append(groups[h], g)
-				}
-				for i, spec := range aggs {
-					g.aggs[i].add(spec, t)
-				}
-			}
-			for _, bucket := range groups {
-				for _, g := range bucket {
-					row := make(Tuple, 0, len(keys)+len(aggs))
-					row = append(row, g.key...)
-					for i, spec := range aggs {
-						row = append(row, g.aggs[i].result(spec))
-					}
-					out[0].Emit(row)
-				}
+			if err := e.run(&portStream{r: in[0]}, 0, nil); err != nil {
+				return err
 			}
 			return ctx.Ctx.Err()
 		})
@@ -398,47 +397,27 @@ func Aggregate(aggs []AggSpec) func() Operator {
 // 1, emitting build ++ probe concatenations for key-equal pairs. Keys
 // compare with adm equality (null keys never match). Both inputs must
 // be partitioned compatibly (Hash/Hash or Broadcast build).
+// Under a memory budget, HashJoin runs as a hybrid hash join: build
+// partitions that outgrow the budget spill to disk (largest-resident
+// first), their probe tuples are deferred to probe runs, and each
+// spilled pair joins recursively — degrading to a block-nested-loop
+// pass for data hashing cannot split.
 func HashJoin(buildKeys, probeKeys []int) func() Operator {
 	return func() Operator {
 		return OpFunc(func(ctx *TaskCtx, in []*PortReader, out []*Emitter) error {
-			table := make(map[uint64][]Tuple)
-			for {
-				t, ok := in[0].Next()
-				if !ok {
-					break
-				}
-				h := uint64(0xABCD)
-				for _, k := range buildKeys {
-					h = adm.HashSeed(h, t[k])
-				}
-				table[h] = append(table[h], t)
+			g := ctx.Grant()
+			defer g.ReleaseAll()
+			e := &hashJoinExec{
+				ctx: ctx, g: g, buildKeys: buildKeys, probeKeys: probeKeys,
+				emit: func(t Tuple) error {
+					out[0].Emit(t)
+					return nil
+				},
 			}
-			for {
-				t, ok := in[1].Next()
-				if !ok {
-					return ctx.Ctx.Err()
-				}
-				h := uint64(0xABCD)
-				for _, k := range probeKeys {
-					h = adm.HashSeed(h, t[k])
-				}
-				for _, b := range table[h] {
-					match := true
-					for i := range buildKeys {
-						bv, pv := b[buildKeys[i]], t[probeKeys[i]]
-						if bv.IsNull() || pv.IsNull() || !adm.Equal(bv, pv) {
-							match = false
-							break
-						}
-					}
-					if match {
-						row := make(Tuple, 0, len(b)+len(t))
-						row = append(row, b...)
-						row = append(row, t...)
-						out[0].Emit(row)
-					}
-				}
+			if err := e.run(&portStream{r: in[0]}, &portStream{r: in[1]}, 0); err != nil {
+				return err
 			}
+			return ctx.Ctx.Err()
 		})
 	}
 }
@@ -446,39 +425,107 @@ func HashJoin(buildKeys, probeKeys []int) func() Operator {
 // NestedLoopJoin materializes input port 0 and, for each tuple of port
 // 1, emits build ++ probe rows satisfying pred. pred may be nil (cross
 // product). The build side is typically broadcast.
+// Under a memory budget, the build side overflows to a spill run; the
+// spilled path then joins in probe blocks (block-nested-loop), re-
+// scanning the build buffer once per block instead of once per tuple.
 func NestedLoopJoin(pred func(build, probe Tuple) (bool, error)) func() Operator {
 	return func() Operator {
 		return OpFunc(func(ctx *TaskCtx, in []*PortReader, out []*Emitter) error {
-			var build []Tuple
+			g := ctx.Grant()
+			defer g.ReleaseAll()
+			build := newSpillableBuffer(ctx, g, "nlj-build")
+			defer build.close()
 			for {
 				t, ok := in[0].Next()
 				if !ok {
 					break
 				}
-				build = append(build, t)
+				if err := build.add(t); err != nil {
+					return err
+				}
+			}
+			if err := build.finish(); err != nil {
+				return err
+			}
+			joinPair := func(b, t Tuple) error {
+				okPair := true
+				if pred != nil {
+					var err error
+					okPair, err = pred(b, t)
+					if err != nil {
+						return err
+					}
+				}
+				if okPair {
+					row := make(Tuple, 0, len(b)+len(t))
+					row = append(row, b...)
+					row = append(row, t...)
+					out[0].Emit(row)
+				}
+				return nil
+			}
+			if !build.spilled() {
+				// Everything resident: keep the legacy probe-major order.
+				for {
+					t, ok := in[1].Next()
+					if !ok {
+						return ctx.Ctx.Err()
+					}
+					for _, b := range build.mem {
+						if err := joinPair(b, t); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			// Spilled: batch probe tuples into budget-sized blocks and make
+			// one pass over the build buffer (disk suffix included) per
+			// block, so build I/O is amortized across the block.
+			var (
+				block    []Tuple
+				blockMem int64
+			)
+			flush := func() error {
+				if len(block) == 0 {
+					return nil
+				}
+				err := build.each(func(b Tuple) error {
+					for _, t := range block {
+						if err := joinPair(b, t); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				block = nil
+				g.Release(blockMem)
+				blockMem = 0
+				if err != nil {
+					return err
+				}
+				return ctx.Ctx.Err()
 			}
 			for {
 				t, ok := in[1].Next()
 				if !ok {
-					return ctx.Ctx.Err()
+					break
 				}
-				for _, b := range build {
-					okPair := true
-					if pred != nil {
-						var err error
-						okPair, err = pred(b, t)
-						if err != nil {
-							return err
-						}
+				sz := tupleMemSize(t)
+				if !g.Reserve(sz) {
+					if err := flush(); err != nil {
+						return err
 					}
-					if okPair {
-						row := make(Tuple, 0, len(b)+len(t))
-						row = append(row, b...)
-						row = append(row, t...)
-						out[0].Emit(row)
+					if !g.Reserve(sz) {
+						g.Force(sz)
 					}
 				}
+				block = append(block, t)
+				blockMem += sz
 			}
+			if err := flush(); err != nil {
+				return err
+			}
+			return ctx.Ctx.Err()
 		})
 	}
 }
@@ -511,23 +558,42 @@ func Replicate(outPorts int) func() Operator {
 	_ = outPorts // documented at the OpNode level; Run uses len(out)
 	return func() Operator {
 		return OpFunc(func(ctx *TaskCtx, in []*PortReader, out []*Emitter) error {
-			var all []Tuple
+			g := ctx.Grant()
+			defer g.ReleaseAll()
+			buf := newSpillableBuffer(ctx, g, "replicate")
+			defer buf.close()
 			for {
 				t, ok := in[0].Next()
 				if !ok {
 					break
 				}
-				all = append(all, t)
+				if err := buf.add(t); err != nil {
+					return err
+				}
 			}
+			if err := buf.finish(); err != nil {
+				return err
+			}
+			if buf.spilled() {
+				// Each port goroutine re-reads the overflow run through its
+				// own reader; reserve their buffers before fanning out (the
+				// grant is single-goroutine).
+				need := int64(len(out)) * mergeStreamMem
+				if !g.Reserve(need) {
+					g.Force(need)
+				}
+			}
+			errs := make([]error, len(out))
 			var wg sync.WaitGroup
-			for _, em := range out {
-				em := em
+			for i, em := range out {
+				i, em := i, em
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					for _, t := range all {
+					errs[i] = buf.each(func(t Tuple) error {
 						em.Emit(t)
-					}
+						return nil
+					})
 					// Close this port now: holding its end-of-stream
 					// until every other port finishes can deadlock
 					// consumers that depend on one another.
@@ -535,26 +601,48 @@ func Replicate(outPorts int) func() Operator {
 				}()
 			}
 			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					return err
+				}
+			}
 			return ctx.Ctx.Err()
 		})
 	}
 }
 
 // Materialize buffers its input completely before emitting — a plain
-// pipeline breaker.
+// pipeline breaker. Under a memory budget the tail of the buffer pages
+// to a spill run; replay order is unchanged.
 func Materialize() func() Operator {
 	return func() Operator {
 		return OpFunc(func(ctx *TaskCtx, in []*PortReader, out []*Emitter) error {
-			var all []Tuple
+			g := ctx.Grant()
+			defer g.ReleaseAll()
+			buf := newSpillableBuffer(ctx, g, "materialize")
+			defer buf.close()
 			for {
 				t, ok := in[0].Next()
 				if !ok {
 					break
 				}
-				all = append(all, t)
+				if err := buf.add(t); err != nil {
+					return err
+				}
 			}
-			for _, t := range all {
+			if err := buf.finish(); err != nil {
+				return err
+			}
+			if buf.spilled() {
+				if !g.Reserve(mergeStreamMem) {
+					g.Force(mergeStreamMem)
+				}
+			}
+			if err := buf.each(func(t Tuple) error {
 				out[0].Emit(t)
+				return nil
+			}); err != nil {
+				return err
 			}
 			return ctx.Ctx.Err()
 		})

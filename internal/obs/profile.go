@@ -32,19 +32,25 @@ type OpSpan struct {
 	TuplesOut  int64  `json:"tuples_out"`
 	FramesSent int64  `json:"frames_sent"`
 	BytesMoved int64  `json:"bytes_moved"` // cross-node bytes only
+	// SpillRuns/SpilledBytes report this instance's spill activity under
+	// a memory budget (0 when the instance stayed within its grant).
+	SpillRuns    int64 `json:"spill_runs,omitempty"`
+	SpilledBytes int64 `json:"spilled_bytes,omitempty"`
 }
 
 // OpProfile aggregates one operator's instances: busy time and tuple
 // counts summed, wall time the slowest instance's.
 type OpProfile struct {
-	Name       string `json:"name"`
-	Instances  int    `json:"instances"`
-	WallNs     int64  `json:"wall_ns"`
-	BusyNs     int64  `json:"busy_ns"`
-	TuplesIn   int64  `json:"tuples_in"`
-	TuplesOut  int64  `json:"tuples_out"`
-	FramesSent int64  `json:"frames_sent"`
-	BytesMoved int64  `json:"bytes_moved"`
+	Name         string `json:"name"`
+	Instances    int    `json:"instances"`
+	WallNs       int64  `json:"wall_ns"`
+	BusyNs       int64  `json:"busy_ns"`
+	TuplesIn     int64  `json:"tuples_in"`
+	TuplesOut    int64  `json:"tuples_out"`
+	FramesSent   int64  `json:"frames_sent"`
+	BytesMoved   int64  `json:"bytes_moved"`
+	SpillRuns    int64  `json:"spill_runs,omitempty"`
+	SpilledBytes int64  `json:"spilled_bytes,omitempty"`
 }
 
 // SimilarityProfile carries the similarity-query work counters of one
@@ -101,6 +107,8 @@ func AggregateSpans(spans []OpSpan) []OpProfile {
 		o.TuplesOut += s.TuplesOut
 		o.FramesSent += s.FramesSent
 		o.BytesMoved += s.BytesMoved
+		o.SpillRuns += s.SpillRuns
+		o.SpilledBytes += s.SpilledBytes
 	}
 	return out
 }
@@ -127,12 +135,12 @@ func (p *QueryProfile) Tree() string {
 		time.Duration(p.Compile.JobGenNs))
 	ops := append([]OpProfile(nil), p.Operators...)
 	sort.SliceStable(ops, func(i, j int) bool { return ops[i].BusyNs > ops[j].BusyNs })
-	fmt.Fprintf(&b, "  %-32s %5s %12s %12s %10s %10s %8s %10s\n",
-		"operator", "inst", "wall", "busy", "in", "out", "frames", "netbytes")
+	fmt.Fprintf(&b, "  %-32s %5s %12s %12s %10s %10s %8s %10s %6s %10s\n",
+		"operator", "inst", "wall", "busy", "in", "out", "frames", "netbytes", "spills", "spillbytes")
 	for _, o := range ops {
-		fmt.Fprintf(&b, "  %-32s %5d %12s %12s %10d %10d %8d %10d\n",
+		fmt.Fprintf(&b, "  %-32s %5d %12s %12s %10d %10d %8d %10d %6d %10d\n",
 			o.Name, o.Instances, time.Duration(o.WallNs), time.Duration(o.BusyNs),
-			o.TuplesIn, o.TuplesOut, o.FramesSent, o.BytesMoved)
+			o.TuplesIn, o.TuplesOut, o.FramesSent, o.BytesMoved, o.SpillRuns, o.SpilledBytes)
 	}
 	s := p.Similarity
 	if s.IndexSearches > 0 || s.Candidates > 0 || s.CornerCaseFallbacks > 0 {

@@ -43,6 +43,11 @@ type Options struct {
 	// ReuseSubplans unifies duplicate dataset scans under a shared
 	// (replicated) node (paper §5.4.2).
 	ReuseSubplans bool
+	// MemoryBudgetBytes is the per-query operator memory budget the plan
+	// will execute under (0 = unlimited). Physical rules consult it: a
+	// very tight budget demotes hash-hinted group-bys to the sort-based
+	// path, whose streaming aggregation never needs the whole table.
+	MemoryBudgetBytes int64
 }
 
 // DefaultOptions enables everything, like stock AsterixDB.
@@ -134,6 +139,7 @@ func (o *Optimizer) Optimize(root *algebra.Op) (*algebra.Op, error) {
 		{
 			{"reuse-scans", reuseScansRule},
 			{"choose-join-algorithm", chooseJoinAlgorithm},
+			{"group-by-hash-to-sort", hashGroupBudgetRule},
 			{"normalize-keys", normalizeKeys},
 		},
 	}

@@ -1,0 +1,28 @@
+package optimizer
+
+import "simdb/internal/algebra"
+
+// tightBudgetThreshold is the per-query memory budget at or below which
+// budget-aware physical rules prefer streaming algorithms over
+// hash-based ones.
+const tightBudgetThreshold int64 = 256 << 10
+
+// hashGroupBudgetRule demotes /*+ hash */ group-bys to the sort-based
+// group-by when the query's memory budget is very tight. The hash table
+// holds every distinct group at once and, under such a budget, would
+// spill and re-aggregate recursively; the sort-based path streams one
+// group at a time and only the sort itself spills — strictly less
+// run-file traffic for the same result.
+func hashGroupBudgetRule(o *Optimizer, root *algebra.Op) (*algebra.Op, bool, error) {
+	b := o.Opts.MemoryBudgetBytes
+	if b <= 0 || b > tightBudgetThreshold {
+		return root, false, nil
+	}
+	return rewriteEverywhere(root, func(op *algebra.Op) (*algebra.Op, bool, error) {
+		if op.Kind != algebra.OpGroupBy || !op.HashHint {
+			return op, false, nil
+		}
+		op.HashHint = false
+		return op, true, nil
+	})
+}

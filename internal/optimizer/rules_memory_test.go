@@ -1,0 +1,57 @@
+package optimizer
+
+import (
+	"testing"
+
+	"simdb/internal/algebra"
+)
+
+func groupByHints(plan *algebra.Op) (hashed, total int) {
+	algebra.Walk(plan, func(op *algebra.Op) {
+		if op.Kind == algebra.OpGroupBy {
+			total++
+			if op.HashHint {
+				hashed++
+			}
+		}
+	})
+	return
+}
+
+func TestHashGroupBudgetRule(t *testing.T) {
+	src := `for $r in dataset ARevs
+	        /*+ hash */ group by $g := $r.summary with $r
+	        return { 'g': $g, 'n': count($r) }`
+	cases := []struct {
+		name     string
+		budget   int64
+		wantHash bool
+	}{
+		{"unlimited", 0, true},
+		{"generous", 32 << 20, true},
+		{"at-threshold", tightBudgetThreshold, false},
+		{"tight", 64 << 10, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			plan := compile(t, newTestCatalog(),
+				Options{MemoryBudgetBytes: c.budget}, src)
+			hashed, total := groupByHints(plan)
+			if total == 0 {
+				t.Fatal("plan lost its group-by")
+			}
+			if got := hashed > 0; got != c.wantHash {
+				t.Errorf("budget %d: hash hint = %v, want %v", c.budget, got, c.wantHash)
+			}
+		})
+	}
+	// Unhinted group-bys are untouched either way.
+	plain := `for $r in dataset ARevs
+	          group by $g := $r.summary with $r
+	          return { 'g': $g, 'n': count($r) }`
+	plan := compile(t, newTestCatalog(),
+		Options{MemoryBudgetBytes: 64 << 10}, plain)
+	if hashed, total := groupByHints(plan); total == 0 || hashed != 0 {
+		t.Fatalf("plain group-by: hashed=%d total=%d", hashed, total)
+	}
+}

@@ -1,0 +1,228 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"simdb/internal/obs"
+)
+
+// Spill run-file instrumentation: runs and bytes accumulate across the
+// process; the per-run size histogram shows how large individual spill
+// runs get relative to the operator budgets producing them.
+var (
+	spillRunsCreated  = obs.C("storage.spill.runs_created")
+	spillBytesWritten = obs.C("storage.spill.bytes_written")
+	spillBytesRead    = obs.C("storage.spill.bytes_read")
+	spillRunSize      = obs.H("storage.spill.run_bytes")
+)
+
+// runBufSize is the buffered-I/O granularity for run files — one
+// storage page of sequential write (or read) per syscall.
+const runBufSize = 32 << 10
+
+// RunFileManager owns every temporary spill file of one query. All
+// files live under a private directory that Close removes wholesale,
+// so run-file lifetime is tied to the query: whether the query
+// finishes, is cancelled, times out, or panics, the deferred Close in
+// the query layer leaves nothing on disk. Create and Close are safe to
+// call from concurrent operator instances of the same query.
+type RunFileManager struct {
+	dir string
+
+	mu      sync.Mutex
+	created bool
+	closed  bool
+	seq     int
+}
+
+// NewRunFileManager returns a manager rooted at dir. The directory is
+// created lazily on the first Create, so spill-free queries never touch
+// the filesystem.
+func NewRunFileManager(dir string) *RunFileManager {
+	return &RunFileManager{dir: dir}
+}
+
+// Dir returns the manager's root directory (which may not exist yet).
+func (m *RunFileManager) Dir() string { return m.dir }
+
+// Create opens a new run file for writing. The label only names the
+// file for debugging (e.g. "sort", "join-build-p3").
+func (m *RunFileManager) Create(label string) (*RunWriter, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, errors.New("storage: run-file manager closed")
+	}
+	if !m.created {
+		if err := os.MkdirAll(m.dir, 0o755); err != nil {
+			return nil, err
+		}
+		m.created = true
+	}
+	m.seq++
+	path := filepath.Join(m.dir, fmt.Sprintf("run%05d-%s.tmp", m.seq, sanitizeLabel(label)))
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	spillRunsCreated.Inc()
+	return &RunWriter{f: f, w: bufio.NewWriterSize(f, runBufSize), path: path}, nil
+}
+
+// Close removes the manager's directory and every run file in it,
+// including files still nominally open (their readers/writers fail
+// afterwards, which only happens on cancelled queries). Idempotent.
+func (m *RunFileManager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	if !m.created {
+		return nil
+	}
+	return os.RemoveAll(m.dir)
+}
+
+// sanitizeLabel keeps run-file names filesystem-safe.
+func sanitizeLabel(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "run"
+	}
+	return string(out)
+}
+
+// RunWriter writes one spill run: a sequence of length-prefixed records
+// (uvarint length + payload) streamed through a page-sized buffer.
+type RunWriter struct {
+	f       *os.File
+	w       *bufio.Writer
+	path    string
+	lenBuf  [binary.MaxVarintLen64]byte
+	bytes   int64
+	records int64
+}
+
+// Append writes one record.
+func (w *RunWriter) Append(rec []byte) error {
+	n := binary.PutUvarint(w.lenBuf[:], uint64(len(rec)))
+	if _, err := w.w.Write(w.lenBuf[:n]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(rec); err != nil {
+		return err
+	}
+	w.bytes += int64(n + len(rec))
+	w.records++
+	return nil
+}
+
+// Bytes returns the bytes appended so far (including length prefixes).
+func (w *RunWriter) Bytes() int64 { return w.bytes }
+
+// Records returns the record count appended so far.
+func (w *RunWriter) Records() int64 { return w.records }
+
+// Finish flushes and closes the file, returning the completed run.
+func (w *RunWriter) Finish() (*RunFile, error) {
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return nil, err
+	}
+	if err := w.f.Close(); err != nil {
+		return nil, err
+	}
+	spillBytesWritten.Add(w.bytes)
+	spillRunSize.Observe(w.bytes)
+	return &RunFile{path: w.path, bytes: w.bytes, records: w.records}, nil
+}
+
+// Abort closes and deletes a half-written run.
+func (w *RunWriter) Abort() {
+	w.f.Close()
+	os.Remove(w.path)
+}
+
+// RunFile is a completed spill run. It may be Opened multiple times,
+// sequentially or concurrently (each Open returns an independent
+// reader) — block-nested-loop joins and replicate fan-out re-read runs.
+type RunFile struct {
+	path    string
+	bytes   int64
+	records int64
+}
+
+// Bytes returns the run's on-disk size (payload plus length prefixes).
+func (f *RunFile) Bytes() int64 { return f.bytes }
+
+// Records returns the number of records in the run.
+func (f *RunFile) Records() int64 { return f.records }
+
+// Open returns a sequential reader over the run's records.
+func (f *RunFile) Open() (*RunReader, error) {
+	file, err := os.Open(f.path)
+	if err != nil {
+		return nil, err
+	}
+	return &RunReader{f: file, r: bufio.NewReaderSize(file, runBufSize)}, nil
+}
+
+// Close deletes the run file. The manager's Close removes the whole
+// directory anyway; deleting runs eagerly frees disk as soon as an
+// operator is done merging them.
+func (f *RunFile) Close() error {
+	err := os.Remove(f.path)
+	if err != nil && os.IsNotExist(err) {
+		return nil // manager already swept the directory
+	}
+	return err
+}
+
+// RunReader iterates a run's records in write order. The returned
+// slice is only valid until the next call to Next.
+type RunReader struct {
+	f   *os.File
+	r   *bufio.Reader
+	buf []byte
+}
+
+// Next returns the next record, or io.EOF after the last one.
+func (r *RunReader) Next() ([]byte, error) {
+	n, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("storage: run record length: %w", err)
+	}
+	if uint64(cap(r.buf)) < n {
+		r.buf = make([]byte, n)
+	}
+	r.buf = r.buf[:n]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		return nil, fmt.Errorf("storage: run record body: %w", err)
+	}
+	spillBytesRead.Add(int64(n))
+	return r.buf, nil
+}
+
+// Close releases the reader (the file stays on disk until RunFile.Close).
+func (r *RunReader) Close() error { return r.f.Close() }

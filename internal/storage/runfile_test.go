@@ -1,0 +1,139 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestRunFileRoundTrip(t *testing.T) {
+	m := NewRunFileManager(filepath.Join(t.TempDir(), "q1"))
+	w, err := m.Create("sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 1000; i++ {
+		rec := []byte(fmt.Sprintf("record-%04d-%s", i, string(make([]byte, i%97))))
+		want = append(want, rec)
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Records() != 1000 {
+		t.Fatalf("records = %d, want 1000", f.Records())
+	}
+	r, err := f.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		rec, err := r.Next()
+		if err == io.EOF {
+			if i != len(want) {
+				t.Fatalf("got %d records, want %d", i, len(want))
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rec, want[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	r.Close()
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(m.Dir()); !os.IsNotExist(err) {
+		t.Fatalf("manager dir survived Close: %v", err)
+	}
+}
+
+func TestRunFileConcurrentOpens(t *testing.T) {
+	m := NewRunFileManager(filepath.Join(t.TempDir(), "q1"))
+	defer m.Close()
+	w, err := m.Create("replicate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := w.Append([]byte(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each reader iterates independently, as replicate fan-out and
+	// block-nested-loop re-scans require.
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := f.Open()
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			defer r.Close()
+			for i := 0; ; i++ {
+				rec, err := r.Next()
+				if err == io.EOF {
+					if i != 100 {
+						errs[g] = fmt.Errorf("got %d records", i)
+					}
+					return
+				}
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if string(rec) != fmt.Sprintf("r%d", i) {
+					errs[g] = fmt.Errorf("record %d = %q", i, rec)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRunFileManagerClosedAndAbort(t *testing.T) {
+	m := NewRunFileManager(filepath.Join(t.TempDir(), "q1"))
+	w, err := m.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Abort()
+	if ents, err := os.ReadDir(m.Dir()); err != nil || len(ents) != 0 {
+		t.Fatalf("abort left files: %v %v", ents, err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	if _, err := m.Create("y"); err == nil {
+		t.Fatal("Create after Close should fail")
+	}
+}
