@@ -5,7 +5,7 @@
 //	benchrunner all
 //
 // Experiments: table3 table4 table5 table6 fig15 fig22a fig22b fig24a
-// fig24b fig25a fig25b fig27 ablation concurrency spill env all
+// fig24b fig25a fig25b fig27 ablation concurrency spill ingest env all
 package main
 
 import (

@@ -34,6 +34,7 @@ func (e *Env) Run(name string) error {
 		{"ablation", e.Ablations},
 		{"concurrency", e.Concurrency},
 		{"spill", e.SpillSweep},
+		{"ingest", e.IngestBench},
 	}
 	if name == "all" {
 		for _, x := range exps {

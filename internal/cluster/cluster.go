@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -41,12 +42,23 @@ type Cluster struct {
 	planCache *PlanCache
 	qm        *QueryManager
 
-	// ddlMu serializes structural DDL against writers: Insert holds the
-	// read side so the catalog view it acts on (which indexes exist)
-	// cannot change mid-insert, and create index holds the write side
-	// across register+build so the bulk build never races an insert into
-	// a half-built index.
+	// ddlMu serializes structural DDL against writers: InsertBatch holds
+	// the read side for the whole batch so the catalog view it acts on
+	// (which indexes exist) cannot change mid-batch, and create index /
+	// drop dataset / close hold the write side — which also drains the
+	// ingestion pipeline, since batches complete before releasing the
+	// read side.
 	ddlMu sync.RWMutex
+
+	// ing is the partition-parallel ingestion pipeline; ingClosed (read
+	// and written under ddlMu) rejects inserts after Close.
+	ing       *ingester
+	ingClosed bool
+
+	// testIndexFail, when set by tests, is consulted before every
+	// secondary-index insert to inject failures for the atomicity
+	// regression tests.
+	testIndexFail atomic.Pointer[func(dv, ds, ix string) error]
 }
 
 // New creates a cluster with fresh node storage under cfg.DataDir.
@@ -86,25 +98,37 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		c.nodes = append(c.nodes, n)
 	}
+	c.ing = newIngester(c, cfg.IngestWorkers, cfg.IngestQueueDepth)
 	return c, nil
 }
 
-// Close shuts down every node and sweeps any leftover spill temp
-// directories (normally already removed per query).
+// Close drains the ingestion pipeline, then shuts down every node
+// (quiescing its background maintenance) and sweeps any leftover spill
+// temp directories (normally already removed per query). Taking the
+// DDL write lock waits out in-flight batches, so no record is dropped
+// from a batch whose InsertBatch call had already been accepted.
 func (c *Cluster) Close() error {
-	var first error
+	c.ddlMu.Lock()
+	defer c.ddlMu.Unlock()
+	if !c.ingClosed {
+		c.ingClosed = true
+		if c.ing != nil {
+			c.ing.close()
+		}
+	}
+	var errs []error
 	for _, n := range c.nodes {
 		if n == nil {
 			continue
 		}
-		if err := n.close(); err != nil && first == nil {
-			first = err
+		if err := n.close(); err != nil {
+			errs = append(errs, err)
 		}
 	}
-	if err := os.RemoveAll(c.spillTmpRoot()); err != nil && first == nil {
-		first = err
+	if err := os.RemoveAll(c.spillTmpRoot()); err != nil {
+		errs = append(errs, err)
 	}
-	return first
+	return errors.Join(errs...)
 }
 
 // spillTmpRoot is the base directory for per-query spill run files.
@@ -156,52 +180,15 @@ func (c *Cluster) partitionOfPK(pk adm.Value) int {
 }
 
 // Insert adds one record to a dataset, maintaining every secondary
-// index. Records are hash-partitioned on the primary key. Insert is
-// safe to call concurrently with queries and with other inserts; it
-// briefly excludes structural DDL (create index / drop dataset) so the
-// set of indexes it maintains matches the catalog entry it read.
+// index. It is a batch of one through the ingestion pipeline: the
+// record is hash-routed on the primary key to its partition's worker,
+// which applies the primary entry and all index entries as a unit.
+// Insert is safe to call concurrently with queries and with other
+// inserts; it briefly excludes structural DDL (create index / drop
+// dataset) so the set of indexes it maintains matches the catalog
+// entry it read.
 func (c *Cluster) Insert(dv, ds string, rec adm.Value) error {
-	c.ddlMu.RLock()
-	defer c.ddlMu.RUnlock()
-	meta, ok := c.Catalog.Dataset(dv, ds)
-	if !ok {
-		return fmt.Errorf("cluster: unknown dataset %s.%s", dv, ds)
-	}
-	if rec.Kind() != adm.KindRecord {
-		return fmt.Errorf("cluster: inserting non-record value %v", rec.Kind())
-	}
-	pk, okPK := rec.Rec().GetPath(meta.PKField)
-	if !okPK || pk.IsNull() {
-		if !meta.AutoPK {
-			return fmt.Errorf("cluster: record missing primary key field %q", meta.PKField)
-		}
-		pk = adm.NewInt(c.autoPK.Add(1))
-		rec.Rec().Set(meta.PKField, pk)
-	}
-	part := c.partitionOfPK(pk)
-	node := c.nodeOfPartition(part)
-	tree, err := node.primary(dv, ds, part)
-	if err != nil {
-		return err
-	}
-	key := adm.OrderedKey(pk)
-	if err := tree.Put(key, adm.Encode(rec)); err != nil {
-		return err
-	}
-	for _, ix := range meta.Indexes {
-		tokens := IndexTokens(ix, rec)
-		if len(tokens) == 0 {
-			continue
-		}
-		inv, err := node.invIndex(dv, ds, ix.Name, part)
-		if err != nil {
-			return err
-		}
-		if err := inv.Insert(tokens, invindex.PK(key)); err != nil {
-			return err
-		}
-	}
-	return nil
+	return c.InsertBatch(dv, ds, []adm.Value{rec})
 }
 
 // IndexTokens extracts the secondary keys of a record for an index:
@@ -256,26 +243,50 @@ func countedStrings(toks []string) []string {
 	return out
 }
 
-// FlushAll forces every open LSM component to disk (used after loads to
-// make Table 5's sizes observable).
+// FlushAll drains the ingestion pipeline, forces every open LSM
+// component to disk, and quiesces background maintenance (used after
+// loads to make Table 5's sizes observable and deterministic).
+//
+// The tree maps are snapshotted under each node's mutex but the
+// flushes themselves run outside it, so a slow flush never blocks the
+// node's tree-open path; taking the DDL write lock first waits out
+// in-flight batches. Every tree is attempted and all failures are
+// reported, not just the first.
 func (c *Cluster) FlushAll() error {
+	c.ddlMu.Lock()
+	defer c.ddlMu.Unlock()
+	var errs []error
 	for _, n := range c.nodes {
 		n.mu.Lock()
+		primaries := make([]*storage.LSMTree, 0, len(n.primaries))
 		for _, t := range n.primaries {
-			if err := t.Flush(); err != nil {
-				n.mu.Unlock()
-				return err
-			}
+			primaries = append(primaries, t)
 		}
+		inverted := make([]*invindex.Index, 0, len(n.inverted))
 		for _, t := range n.inverted {
-			if err := t.Flush(); err != nil {
-				n.mu.Unlock()
-				return err
-			}
+			inverted = append(inverted, t)
 		}
 		n.mu.Unlock()
+		for _, t := range primaries {
+			if err := t.Flush(); err != nil {
+				errs = append(errs, err)
+				continue
+			}
+			if err := t.Quiesce(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		for _, t := range inverted {
+			if err := t.Flush(); err != nil {
+				errs = append(errs, err)
+				continue
+			}
+			if err := t.Quiesce(); err != nil {
+				errs = append(errs, err)
+			}
+		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // BuildIndex bulk-builds one secondary index from the dataset's current

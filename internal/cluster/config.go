@@ -10,6 +10,7 @@
 package cluster
 
 import (
+	"runtime"
 	"time"
 
 	"simdb/internal/invindex"
@@ -66,6 +67,22 @@ type Config struct {
 	// memory is free (FIFO). It only gates queries that have a per-query
 	// budget; unbudgeted queries claim nothing. 0 disables the pool.
 	ClusterMemoryBudget int64
+	// IngestWorkers is the number of ingestion-pipeline workers; records
+	// route to worker partition%IngestWorkers, so per-partition (and
+	// per-PK) order is preserved. Default: min(Partitions(), GOMAXPROCS)
+	// — one worker per partition caps useful parallelism, and more
+	// workers than cores only adds scheduling overhead.
+	IngestWorkers int
+	// IngestQueueDepth bounds each ingestion worker's queue; enqueuers
+	// block when a queue is full (backpressure). Default 256.
+	IngestQueueDepth int
+	// MaintenanceWorkers sizes each node's background flush/merge worker
+	// pool, shared by every LSM tree on the node. Default 2.
+	MaintenanceWorkers int
+	// StallThreshold is the per-tree cap on rotated, flush-pending
+	// in-memory components: writers stall once this many pile up until
+	// background flushing catches up. Default 4.
+	StallThreshold int
 }
 
 // WithDefaults fills unset fields.
@@ -90,6 +107,21 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.NetLatencyUs <= 0 {
 		c.NetLatencyUs = 100
+	}
+	if c.IngestWorkers <= 0 {
+		c.IngestWorkers = c.Partitions()
+		if p := runtime.GOMAXPROCS(0); p < c.IngestWorkers {
+			c.IngestWorkers = p
+		}
+	}
+	if c.IngestQueueDepth <= 0 {
+		c.IngestQueueDepth = 256
+	}
+	if c.MaintenanceWorkers <= 0 {
+		c.MaintenanceWorkers = 2
+	}
+	if c.StallThreshold <= 0 {
+		c.StallThreshold = 4
 	}
 	return c
 }

@@ -1,0 +1,335 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"simdb/internal/adm"
+	"simdb/internal/invindex"
+	"simdb/internal/obs"
+	"simdb/internal/storage"
+)
+
+var (
+	ingestRecords   = obs.C("cluster.ingest.records")
+	ingestBatches   = obs.C("cluster.ingest.batches")
+	ingestRollbacks = obs.C("cluster.ingest.rollbacks")
+	ingestBatchH    = obs.H("cluster.ingest.batch_size")
+)
+
+// ingestOp is one record routed to its partition's ingestion worker.
+// Everything cheap and order-sensitive (PK extraction, auto-PK
+// assignment, partition routing) happened on the caller's goroutine;
+// everything expensive (tokenization, storage writes) happens in the
+// worker.
+type ingestOp struct {
+	meta   *DatasetMeta
+	dv, ds string
+	rec    adm.Value
+	key    []byte // primary key in ordered-key form
+	part   int
+}
+
+// ingestBatch tracks the completion of one InsertBatch call: a pending
+// count decremented as ops finish, a done channel closed at zero, and
+// the collected per-record errors.
+type ingestBatch struct {
+	pending atomic.Int64
+	done    chan struct{}
+
+	mu   sync.Mutex
+	errs []error
+}
+
+func (b *ingestBatch) fail(err error) {
+	b.mu.Lock()
+	b.errs = append(b.errs, err)
+	b.mu.Unlock()
+}
+
+// finish retires n ops; the last one releases the waiting caller.
+func (b *ingestBatch) finish(n int64) {
+	if b.pending.Add(-n) == 0 {
+		close(b.done)
+	}
+}
+
+func (b *ingestBatch) err() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return errors.Join(b.errs...)
+}
+
+// ingestChunk is one worker's contiguous slice of a batch: every op in
+// it routes to the same worker, so one channel transfer moves up to
+// chunkRecords records. Chunking is what makes the batched path
+// cheaper than per-record Insert even on few cores — a batch costs
+// O(records/chunkRecords) sends and wakeups instead of one per record.
+type ingestChunk struct {
+	batch *ingestBatch
+	ops   []*ingestOp
+}
+
+// chunkRecords caps the records carried per queue element, keeping the
+// queue bound meaningful as a memory bound while amortizing channel
+// overhead.
+const chunkRecords = 32
+
+// ingester is the partition-parallel ingestion pipeline: W workers,
+// each owning one bounded queue. Records route to queue part%W, so all
+// writes for one partition — and therefore for one primary key — land
+// on the same worker in arrival order. Backpressure is the channel
+// bound: when a worker falls behind (e.g. its trees are stalled on
+// background maintenance), enqueuers block rather than buffer without
+// limit.
+type ingester struct {
+	c       *Cluster
+	queues  []chan ingestChunk
+	pending atomic.Int64 // records enqueued, not yet applied
+	wg      sync.WaitGroup
+}
+
+func newIngester(c *Cluster, workers, depth int) *ingester {
+	ing := &ingester{c: c, queues: make([]chan ingestChunk, workers)}
+	for i := range ing.queues {
+		ing.queues[i] = make(chan ingestChunk, depth)
+		ing.wg.Add(1)
+		go ing.worker(ing.queues[i])
+	}
+	return ing
+}
+
+// enqueueBatch groups a batch's ops by destination worker and sends
+// them as chunks. Slice order is preserved per worker, so records with
+// the same primary key (same partition, same worker) apply in batch
+// order. Callers hold c.ddlMu.RLock and wait for the batch before
+// releasing it, which is what makes close (under the write lock) safe:
+// no sender can be mid-enqueue when queues close.
+func (ing *ingester) enqueueBatch(b *ingestBatch, ops []*ingestOp) {
+	w := len(ing.queues)
+	perWorker := make([][]*ingestOp, w)
+	for _, op := range ops {
+		i := op.part % w
+		perWorker[i] = append(perWorker[i], op)
+	}
+	ing.pending.Add(int64(len(ops)))
+	for i, list := range perWorker {
+		for off := 0; off < len(list); off += chunkRecords {
+			end := off + chunkRecords
+			if end > len(list) {
+				end = len(list)
+			}
+			ing.queues[i] <- ingestChunk{batch: b, ops: list[off:end]}
+		}
+	}
+}
+
+// queued reports the records currently in the pipeline (enqueued or
+// being applied).
+func (ing *ingester) queued() int {
+	return int(ing.pending.Load())
+}
+
+// close drains and stops the workers. Caller must hold the ddl write
+// lock (or otherwise guarantee no enqueuer is active).
+func (ing *ingester) close() {
+	for _, q := range ing.queues {
+		close(q)
+	}
+	ing.wg.Wait()
+}
+
+// treeCache memoizes tree handles for the duration of one chunk,
+// amortizing the node-mutex map lookups across the chunk's records. It
+// must not outlive the chunk: a batch pins the DDL read lock, so
+// within a chunk no drop/create can invalidate a handle, but across
+// chunks it can.
+type treeCache struct {
+	primaries map[int]*storage.LSMTree
+	inverted  map[string]*invindex.Index
+}
+
+func (ing *ingester) worker(q chan ingestChunk) {
+	defer ing.wg.Done()
+	for chunk := range q {
+		cache := treeCache{
+			primaries: map[int]*storage.LSMTree{},
+			inverted:  map[string]*invindex.Index{},
+		}
+		applied := int64(0)
+		for _, op := range chunk.ops {
+			if err := ing.apply(op, &cache); err != nil {
+				chunk.batch.fail(err)
+			} else {
+				applied++
+			}
+		}
+		ingestRecords.Add(applied)
+		ing.pending.Add(-int64(len(chunk.ops)))
+		chunk.batch.finish(int64(len(chunk.ops)))
+	}
+}
+
+// apply writes one record's primary entry and all its secondary-index
+// entries as a unit: if any index insert fails, the already-applied
+// entries are rolled back (index postings removed, primary pre-image
+// restored) so no query can observe a half-indexed record.
+func (ing *ingester) apply(op *ingestOp, cache *treeCache) error {
+	node := ing.c.nodeOfPartition(op.part)
+	tree, ok := cache.primaries[op.part]
+	if !ok {
+		var err error
+		tree, err = node.primary(op.dv, op.ds, op.part)
+		if err != nil {
+			return err
+		}
+		cache.primaries[op.part] = tree
+	}
+
+	// Pre-image for rollback, only needed when index maintenance can
+	// fail after the primary write.
+	var preImage []byte
+	var preExisted bool
+	if len(op.meta.Indexes) > 0 {
+		var err error
+		preImage, preExisted, err = tree.Get(op.key)
+		if err != nil {
+			return err
+		}
+	}
+
+	if err := tree.Put(op.key, adm.Encode(op.rec)); err != nil {
+		return err
+	}
+
+	type applied struct {
+		inv    *invindex.Index
+		tokens []string
+	}
+	var done []applied
+	rollback := func(cause error) error {
+		ingestRollbacks.Inc()
+		errs := []error{cause}
+		for _, a := range done {
+			if rerr := a.inv.Remove(a.tokens, invindex.PK(op.key)); rerr != nil {
+				errs = append(errs, fmt.Errorf("cluster: rollback index entry: %w", rerr))
+			}
+		}
+		var rerr error
+		if preExisted {
+			rerr = tree.Put(op.key, preImage)
+		} else {
+			rerr = tree.Delete(op.key)
+		}
+		if rerr != nil {
+			errs = append(errs, fmt.Errorf("cluster: rollback primary entry: %w", rerr))
+		}
+		return errors.Join(errs...)
+	}
+
+	for _, ix := range op.meta.Indexes {
+		// Tokenization runs here, on the worker — off the caller's
+		// goroutine — which is where batched ingestion wins its
+		// parallelism for tokenized (keyword/ngram) datasets.
+		tokens := IndexTokens(ix, op.rec)
+		if len(tokens) == 0 {
+			continue
+		}
+		ixKey := fmt.Sprintf("%s/%d", ix.Name, op.part)
+		inv, ok := cache.inverted[ixKey]
+		if !ok {
+			var err error
+			inv, err = node.invIndex(op.dv, op.ds, ix.Name, op.part)
+			if err != nil {
+				return rollback(err)
+			}
+			cache.inverted[ixKey] = inv
+		}
+		if hook := ing.c.testIndexFail.Load(); hook != nil {
+			if err := (*hook)(op.dv, op.ds, ix.Name); err != nil {
+				return rollback(err)
+			}
+		}
+		if err := inv.Insert(tokens, invindex.PK(op.key)); err != nil {
+			return rollback(err)
+		}
+		done = append(done, applied{inv, tokens})
+	}
+	return nil
+}
+
+// InsertBatch ingests a batch of records into a dataset through the
+// partition-parallel pipeline: records are validated and hash-routed on
+// the caller's goroutine, then tokenized and applied (primary +
+// secondary indexes together) by per-partition workers. The call
+// returns after every record in the batch has been applied or failed;
+// the result joins all per-record errors. Records with the same
+// primary key are applied in batch order.
+//
+// InsertBatch holds the DDL read lock for its duration, so the set of
+// indexes it maintains matches one catalog snapshot and structural DDL
+// (create index, drop dataset, close) cannot interleave with a batch.
+func (c *Cluster) InsertBatch(dv, ds string, recs []adm.Value) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	c.ddlMu.RLock()
+	defer c.ddlMu.RUnlock()
+	if c.ingClosed {
+		return fmt.Errorf("cluster: insert into closed cluster")
+	}
+	meta, ok := c.Catalog.Dataset(dv, ds)
+	if !ok {
+		return fmt.Errorf("cluster: unknown dataset %s.%s", dv, ds)
+	}
+	ingestBatches.Inc()
+	ingestBatchH.Observe(int64(len(recs)))
+
+	b := &ingestBatch{done: make(chan struct{})}
+	b.pending.Store(int64(len(recs)))
+	ops := make([]*ingestOp, 0, len(recs))
+	for _, rec := range recs {
+		op, err := c.prepareOp(meta, dv, ds, rec)
+		if err != nil {
+			b.fail(err)
+			b.finish(1)
+			continue
+		}
+		ops = append(ops, op)
+	}
+	c.ing.enqueueBatch(b, ops)
+	<-b.done
+	return b.err()
+}
+
+// prepareOp validates one record and resolves its routing: primary-key
+// extraction (assigning an auto-PK if configured), ordered-key
+// encoding, and hash partitioning.
+func (c *Cluster) prepareOp(meta *DatasetMeta, dv, ds string, rec adm.Value) (*ingestOp, error) {
+	if rec.Kind() != adm.KindRecord {
+		return nil, fmt.Errorf("cluster: inserting non-record value %v", rec.Kind())
+	}
+	pk, okPK := rec.Rec().GetPath(meta.PKField)
+	if !okPK || pk.IsNull() {
+		if !meta.AutoPK {
+			return nil, fmt.Errorf("cluster: record missing primary key field %q", meta.PKField)
+		}
+		pk = adm.NewInt(c.autoPK.Add(1))
+		rec.Rec().Set(meta.PKField, pk)
+	}
+	part := c.partitionOfPK(pk)
+	return &ingestOp{
+		meta: meta,
+		dv:   dv,
+		ds:   ds,
+		rec:  rec,
+		key:  adm.OrderedKey(pk),
+		part: part,
+	}, nil
+}
+
+// IngestQueueDepth reports the records currently queued in the
+// ingestion pipeline (all workers).
+func (c *Cluster) IngestQueueDepth() int { return c.ing.queued() }

@@ -85,6 +85,8 @@ func (c *Cluster) Metrics() obs.Snapshot {
 	r := obs.Default()
 
 	var memEntries, memBytes, diskComponents, diskEntries, diskBytes int64
+	var immMemtables, immEntries, immBytes int64
+	var maintPending, maintRunning int64
 	var cacheHits, cacheMisses, cacheEvictions, pagesRead int64
 	for _, n := range c.nodes {
 		cs := n.CacheStats()
@@ -92,11 +94,17 @@ func (c *Cluster) Metrics() obs.Snapshot {
 		cacheMisses += cs.Misses
 		cacheEvictions += cs.Evictions
 		pagesRead += cs.PagesRead
+		ms := n.MaintenanceStats()
+		maintPending += int64(ms.Pending)
+		maintRunning += int64(ms.Running)
 		n.mu.Lock()
 		for _, t := range n.primaries {
 			st := t.Stats()
 			memEntries += int64(st.MemEntries)
 			memBytes += st.MemBytes
+			immMemtables += int64(st.ImmMemtables)
+			immEntries += int64(st.ImmEntries)
+			immBytes += st.ImmBytes
 			diskComponents += int64(st.DiskComponents)
 			diskEntries += st.DiskEntries
 			diskBytes += st.DiskBytes
@@ -105,9 +113,15 @@ func (c *Cluster) Metrics() obs.Snapshot {
 	}
 	r.Gauge("storage.memtable.entries").Set(memEntries)
 	r.Gauge("storage.memtable.bytes").Set(memBytes)
+	r.Gauge("storage.memtable.imm_count").Set(immMemtables)
+	r.Gauge("storage.memtable.imm_entries").Set(immEntries)
+	r.Gauge("storage.memtable.imm_bytes").Set(immBytes)
 	r.Gauge("storage.disk.components").Set(diskComponents)
 	r.Gauge("storage.disk.entries").Set(diskEntries)
 	r.Gauge("storage.disk.bytes").Set(diskBytes)
+	r.Gauge("storage.maintenance.pool_pending").Set(maintPending)
+	r.Gauge("storage.maintenance.pool_running").Set(maintRunning)
+	r.Gauge("cluster.ingest.queue_depth").Set(int64(c.ing.queued()))
 	r.Gauge("storage.cache.hits").Set(cacheHits)
 	r.Gauge("storage.cache.misses").Set(cacheMisses)
 	r.Gauge("storage.cache.evictions").Set(cacheEvictions)

@@ -19,6 +19,10 @@ type NodeController struct {
 	ID    int
 	dir   string
 	cache *storage.BufferCache
+	// maint is the node's background flush/merge worker pool, shared by
+	// every LSM tree (primary and inverted) on the node so total
+	// maintenance I/O per node stays bounded regardless of tree count.
+	maint *storage.Scheduler
 
 	mu        sync.Mutex
 	primaries map[string]*storage.LSMTree // key: dv.ds/p<part>
@@ -35,6 +39,7 @@ func newNodeController(id int, cfg Config) (*NodeController, error) {
 		ID:        id,
 		dir:       dir,
 		cache:     storage.NewBufferCache(int(cfg.DiskBufferCacheBytes), cfg.PageSize),
+		maint:     storage.NewScheduler(cfg.MaintenanceWorkers),
 		primaries: map[string]*storage.LSMTree{},
 		inverted:  map[string]*invindex.Index{},
 		cfg:       cfg,
@@ -56,6 +61,8 @@ func (n *NodeController) lsmOptions() storage.LSMOptions {
 		PageSize:       n.cfg.PageSize,
 		MemBudgetBytes: n.cfg.MemComponentBudgetBytes,
 		Cache:          n.cache,
+		Maintenance:    n.maint,
+		MaxImmutable:   n.cfg.StallThreshold,
 	}
 }
 
@@ -115,7 +122,9 @@ func (n *NodeController) dropDataset(dv, ds string) error {
 	return os.RemoveAll(filepath.Join(n.dir, sanitize(dv), sanitize(ds)))
 }
 
-// close shuts down every open tree.
+// close shuts down every open tree, then the node's maintenance pool
+// (trees first: their Close waits out in-flight background work before
+// the pool's workers go away).
 func (n *NodeController) close() error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -132,8 +141,13 @@ func (n *NodeController) close() error {
 	}
 	n.primaries = map[string]*storage.LSMTree{}
 	n.inverted = map[string]*invindex.Index{}
+	n.maint.Close()
 	return first
 }
 
 // CacheStats exposes the node's buffer-cache counters.
 func (n *NodeController) CacheStats() storage.CacheStats { return n.cache.Stats() }
+
+// MaintenanceStats exposes the node's background-maintenance pool
+// counters.
+func (n *NodeController) MaintenanceStats() storage.SchedulerStats { return n.maint.Stats() }

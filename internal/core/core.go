@@ -69,6 +69,18 @@ type Config struct {
 	// ClusterMemoryBudget, when positive, bounds the total budgeted
 	// memory of concurrently admitted queries; excess queries queue.
 	ClusterMemoryBudget int64
+	// IngestWorkers sizes the partition-parallel ingestion pipeline
+	// (default: one worker per partition).
+	IngestWorkers int
+	// IngestQueueDepth bounds each ingestion worker's queue; full queues
+	// backpressure InsertBatch callers (default 256).
+	IngestQueueDepth int
+	// MaintenanceWorkers sizes each node's background LSM flush/merge
+	// pool (default 2).
+	MaintenanceWorkers int
+	// StallThreshold caps flush-pending immutable memtables per tree
+	// before writers stall awaiting maintenance (default 4).
+	StallThreshold int
 }
 
 // Database is an open SimDB instance.
@@ -120,6 +132,10 @@ func Open(cfg Config) (*Database, error) {
 		SlowQueryThreshold:      cfg.SlowQueryThreshold,
 		QueryMemoryBudget:       cfg.QueryMemoryBudget,
 		ClusterMemoryBudget:     cfg.ClusterMemoryBudget,
+		IngestWorkers:           cfg.IngestWorkers,
+		IngestQueueDepth:        cfg.IngestQueueDepth,
+		MaintenanceWorkers:      cfg.MaintenanceWorkers,
+		StallThreshold:          cfg.StallThreshold,
 	})
 	if err != nil {
 		return nil, err
@@ -167,6 +183,16 @@ func (db *Database) Insert(dataset string, rec adm.Value) error {
 	return db.c.Insert("Default", dataset, rec)
 }
 
+// InsertBatch ingests records through the partition-parallel pipeline:
+// records are hash-routed to per-partition workers that tokenize and
+// apply primary and secondary-index entries together. Substantially
+// faster than per-record Insert for bulk loads; per-record failures
+// are joined into the returned error while the rest of the batch still
+// lands.
+func (db *Database) InsertBatch(dataset string, recs []adm.Value) error {
+	return db.c.InsertBatch("Default", dataset, recs)
+}
+
 // InsertJSON parses a JSON object and inserts it.
 func (db *Database) InsertJSON(dataset, jsonDoc string) error {
 	v, err := adm.FromJSON([]byte(jsonDoc))
@@ -177,7 +203,8 @@ func (db *Database) InsertJSON(dataset, jsonDoc string) error {
 }
 
 // LoadJSONLines bulk-imports a newline-delimited JSON file into a
-// dataset, flushing at the end. It returns the record count.
+// dataset through the batched ingestion pipeline, flushing at the end.
+// It returns the record count.
 func (db *Database) LoadJSONLines(dataset, path string) (int, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -186,6 +213,8 @@ func (db *Database) LoadJSONLines(dataset, path string) (int, error) {
 	defer f.Close()
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	const batchSize = 512
+	batch := make([]adm.Value, 0, batchSize)
 	n := 0
 	for sc.Scan() {
 		line := sc.Bytes()
@@ -196,13 +225,23 @@ func (db *Database) LoadJSONLines(dataset, path string) (int, error) {
 		if err != nil {
 			return n, fmt.Errorf("core: line %d: %w", n+1, err)
 		}
-		if err := db.Insert(dataset, v); err != nil {
-			return n, err
+		batch = append(batch, v)
+		if len(batch) == batchSize {
+			if err := db.InsertBatch(dataset, batch); err != nil {
+				return n, err
+			}
+			n += len(batch)
+			batch = batch[:0]
 		}
-		n++
 	}
 	if err := sc.Err(); err != nil {
 		return n, err
+	}
+	if len(batch) > 0 {
+		if err := db.InsertBatch(dataset, batch); err != nil {
+			return n, err
+		}
+		n += len(batch)
 	}
 	return n, db.c.FlushAll()
 }

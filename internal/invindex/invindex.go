@@ -69,19 +69,19 @@ func prefixEnd(prefix []byte) []byte {
 
 // Insert adds (token, pk) entries for every distinct token. Duplicate
 // tokens within one call collapse to a single entry, matching the
-// set-of-grams semantics of the T-occurrence bound.
+// set-of-grams semantics of the T-occurrence bound. All entries are
+// applied under one tree lock acquisition.
 func (ix *Index) Insert(tokens []string, pk PK) error {
+	keys := make([][]byte, 0, len(tokens))
 	seen := make(map[string]struct{}, len(tokens))
 	for _, tok := range tokens {
 		if _, dup := seen[tok]; dup {
 			continue
 		}
 		seen[tok] = struct{}{}
-		if err := ix.tree.Put(entryKey(tok, pk), nil); err != nil {
-			return err
-		}
+		keys = append(keys, entryKey(tok, pk))
 	}
-	return nil
+	return ix.tree.PutMulti(keys, nil)
 }
 
 // Remove deletes the (token, pk) entries for the given tokens.
@@ -114,6 +114,10 @@ func (ix *Index) BulkLoad(next func() (token string, pk PK, ok bool, err error))
 
 // Flush forces the in-memory component to disk.
 func (ix *Index) Flush() error { return ix.tree.Flush() }
+
+// Quiesce blocks until the index's tree has no pending background
+// maintenance (flushes drained, merge policy satisfied).
+func (ix *Index) Quiesce() error { return ix.tree.Quiesce() }
 
 // Stats exposes the underlying LSM stats (component count, disk bytes).
 func (ix *Index) Stats() storage.Stats { return ix.tree.Stats() }

@@ -211,6 +211,11 @@ type Component struct {
 	n      int64
 	size   int64
 
+	// seq is the rotation sequence the component's data derives from
+	// and gen its merge generation (0 = flushed/bulk-loaded); together
+	// they define recency order. Set by the owning tree at open/create.
+	seq, gen uint64
+
 	refs atomic.Int32 // starts at 1 (the opener's reference)
 	drop atomic.Bool  // delete the file when the last reference drains
 }

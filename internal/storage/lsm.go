@@ -4,6 +4,15 @@
 // node-wide LRU buffer cache. Primary indexes and secondary inverted
 // indexes both sit on this substrate, as in AsterixDB ("partitioned
 // LSM-based B+-trees with optional LSM-based secondary indexes").
+//
+// Writes never do disk I/O on the caller's goroutine: a Put lands in
+// the active memtable, which rotates into an immutable generation when
+// it fills; a background maintenance scheduler (a bounded worker pool,
+// typically shared per node) flushes rotated memtables to disk
+// components and compacts components under a pluggable MergePolicy.
+// Writers only stall — with backpressure accounted in metrics — when
+// maintenance falls far enough behind that immutable memtables or disk
+// components pile past their thresholds.
 package storage
 
 import (
@@ -21,29 +30,49 @@ import (
 	"simdb/internal/obs"
 )
 
-// Process-wide storage event metrics: flush/merge counts and durations
-// stream into the default registry as they happen (point-in-time state
-// like memtable size is read on demand via Stats instead).
+// Process-wide storage event metrics: flush/merge/rotation counts and
+// durations stream into the default registry as they happen, and the
+// write-stall counters expose backpressure (point-in-time state like
+// memtable size is read on demand via Stats instead).
 var (
-	flushCount = obs.C("storage.flush.count")
-	flushNs    = obs.H("storage.flush.ns")
-	flushBytes = obs.H("storage.flush.bytes")
-	mergeCount = obs.C("storage.merge.count")
-	mergeNs    = obs.H("storage.merge.ns")
+	flushCount    = obs.C("storage.flush.count")
+	flushNs       = obs.H("storage.flush.ns")
+	flushBytes    = obs.H("storage.flush.bytes")
+	mergeCount    = obs.C("storage.merge.count")
+	mergeNs       = obs.H("storage.merge.ns")
+	rotateCount   = obs.C("storage.rotate.count")
+	stallCount    = obs.C("storage.stall.count")
+	stallNs       = obs.H("storage.stall.ns")
+	pendingFlushG = obs.G("storage.maintenance.pending_flushes")
+	pendingMergeG = obs.G("storage.maintenance.pending_merges")
 )
 
 // LSMOptions configures an LSM tree.
 type LSMOptions struct {
 	// PageSize is the target data-page size of on-disk components.
 	PageSize int
-	// MemBudgetBytes flushes the memtable once its footprint exceeds
-	// this many bytes.
+	// MemBudgetBytes rotates the active memtable into the flush queue
+	// once its footprint exceeds this many bytes.
 	MemBudgetBytes int64
-	// MaxComponents triggers a full merge (size-tiered compaction)
-	// when the number of disk components exceeds it.
+	// MaxComponents parameterizes the default TieredPolicy: a full
+	// size-tiered merge triggers when the component count exceeds it.
 	MaxComponents int
 	// Cache is the node's shared buffer cache. Required.
 	Cache *BufferCache
+	// Maintenance is the background flush/merge worker pool, typically
+	// shared by every tree on a node. nil creates a private
+	// single-worker scheduler owned (and closed) by the tree.
+	Maintenance *Scheduler
+	// MergePolicy decides background compaction. nil takes
+	// TieredPolicy{MaxComponents}.
+	MergePolicy MergePolicy
+	// MaxImmutable is how many rotated-but-unflushed memtables may pile
+	// up before Put stalls waiting for a flush (default 4).
+	MaxImmutable int
+	// StallComponents stalls writers when the disk-component count
+	// reaches it, giving merges time to catch up (default
+	// 4*MaxComponents).
+	StallComponents int
 }
 
 func (o *LSMOptions) withDefaults() LSMOptions {
@@ -60,62 +89,151 @@ func (o *LSMOptions) withDefaults() LSMOptions {
 	if out.Cache == nil {
 		out.Cache = NewBufferCache(32<<20, out.PageSize)
 	}
+	if out.MergePolicy == nil {
+		out.MergePolicy = TieredPolicy{MaxComponents: out.MaxComponents}
+	}
+	if out.MaxImmutable <= 0 {
+		out.MaxImmutable = 4
+	}
+	if out.StallComponents <= 0 {
+		out.StallComponents = 4 * out.MaxComponents
+	}
 	return out
 }
 
+// immMem is a rotated, immutable memtable awaiting flush. Its seq was
+// allocated at rotation time, so flush completions install components
+// in recency order no matter when the I/O finishes.
+type immMem struct {
+	mt  *memtable
+	seq uint64
+}
+
 // LSMTree is a single partition's LSM B+-tree over byte keys and
-// values. It is safe for concurrent use. Writes take an exclusive
-// lock; reads acquire a refcounted TreeSnapshot under a brief shared
-// lock and then proceed lock-free, so a slow scan never blocks a
-// concurrent Put, Flush, or Merge (see TreeSnapshot).
+// values. It is safe for concurrent use. Writes take an exclusive lock
+// but never perform disk I/O: flush and merge run on the maintenance
+// scheduler. Reads acquire a refcounted TreeSnapshot under a brief
+// shared lock and then proceed lock-free, so a slow scan never blocks
+// a concurrent Put, Flush, or Merge (see TreeSnapshot).
 type LSMTree struct {
 	dir  string
 	opts LSMOptions
 
-	mu         sync.RWMutex
+	mu   sync.RWMutex
+	cond *sync.Cond // broadcast whenever maintenance makes progress
+
 	mem        *memtable
+	imms       []*immMem    // rotated memtables, newest first
 	components []*Component // newest first
 	nextSeq    uint64
+	nextGen    uint64
+
+	closed         bool
+	lastErr        error // first background-maintenance failure; sticky
+	flushScheduled bool  // a flush task is queued or running
+	mergeActive    bool  // a merge (background or forced) is in flight
+
+	bg       sync.WaitGroup // in-flight background tasks
+	sched    *Scheduler
+	ownSched bool
+
+	// Test hooks, injected before concurrent use: called inside the
+	// corresponding maintenance step, off the writer's goroutine.
+	testFlushDelay func()
+	testMergeDelay func()
+}
+
+// componentName renders a component file name: flushed (and
+// bulk-loaded) components are c<seq>.cmp; merged components are
+// c<seq>m<gen>.cmp, sequenced at their newest input so recency order
+// survives restart even when older rotations were still unflushed at
+// merge time.
+func componentName(seq, gen uint64) string {
+	if gen == 0 {
+		return fmt.Sprintf("c%d.cmp", seq)
+	}
+	return fmt.Sprintf("c%dm%d.cmp", seq, gen)
+}
+
+// parseComponentName inverts componentName.
+func parseComponentName(name string) (seq, gen uint64, ok bool) {
+	if !strings.HasPrefix(name, "c") || !strings.HasSuffix(name, ".cmp") {
+		return 0, 0, false
+	}
+	body := name[1 : len(name)-4]
+	if i := strings.IndexByte(body, 'm'); i >= 0 {
+		g, err := strconv.ParseUint(body[i+1:], 10, 64)
+		if err != nil {
+			return 0, 0, false
+		}
+		gen = g
+		body = body[:i]
+	}
+	s, err := strconv.ParseUint(body, 10, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	return s, gen, true
 }
 
 // OpenLSM opens (or creates) the LSM tree stored in dir. Existing
-// components named c<seq>.cmp are recovered in recency order.
+// components are recovered in recency order: seq (rotation order)
+// first, then merge generation; a merged component supersedes a
+// same-seq leftover from before its merge.
 func OpenLSM(dir string, opts LSMOptions) (*LSMTree, error) {
 	o := opts.withDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: open lsm: %w", err)
 	}
-	t := &LSMTree{dir: dir, opts: o, mem: newMemtable(), nextSeq: 1}
+	t := &LSMTree{dir: dir, opts: o, mem: newMemtable(), nextSeq: 1, nextGen: 1}
+	t.cond = sync.NewCond(&t.mu)
+	if o.Maintenance != nil {
+		t.sched = o.Maintenance
+	} else {
+		t.sched = NewScheduler(1)
+		t.ownSched = true
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
 	type seqPath struct {
-		seq  uint64
-		path string
+		seq, gen uint64
+		path     string
 	}
 	var found []seqPath
 	for _, e := range entries {
-		name := e.Name()
-		if !strings.HasPrefix(name, "c") || !strings.HasSuffix(name, ".cmp") {
+		seq, gen, ok := parseComponentName(e.Name())
+		if !ok {
 			continue
 		}
-		seq, err := strconv.ParseUint(name[1:len(name)-4], 10, 64)
-		if err != nil {
-			continue
-		}
-		found = append(found, seqPath{seq, filepath.Join(dir, name)})
+		found = append(found, seqPath{seq, gen, filepath.Join(dir, e.Name())})
 	}
-	sort.Slice(found, func(i, j int) bool { return found[i].seq > found[j].seq }) // newest first
-	for _, sp := range found {
+	sort.Slice(found, func(i, j int) bool { // newest first
+		if found[i].seq != found[j].seq {
+			return found[i].seq > found[j].seq
+		}
+		return found[i].gen > found[j].gen
+	})
+	for i, sp := range found {
+		if i > 0 && sp.seq == found[i-1].seq {
+			// Superseded by a newer merge generation at the same seq
+			// (possible only after an unclean stop): drop the stale file.
+			os.Remove(sp.path)
+			continue
+		}
 		c, err := OpenComponent(sp.path, o.Cache)
 		if err != nil {
 			t.closeComponents()
 			return nil, fmt.Errorf("storage: recover %s: %w", sp.path, err)
 		}
+		c.seq, c.gen = sp.seq, sp.gen
 		t.components = append(t.components, c)
 		if sp.seq >= t.nextSeq {
 			t.nextSeq = sp.seq + 1
+		}
+		if sp.gen >= t.nextGen {
+			t.nextGen = sp.gen + 1
 		}
 	}
 	return t, nil
@@ -128,69 +246,415 @@ func (t *LSMTree) closeComponents() {
 	t.components = nil
 }
 
-// Close flushes the memtable and closes all components.
+// Close quiesces background maintenance, flushes every memtable
+// generation (rotated and active) so acknowledged writes are durable,
+// and closes all components. Idempotent.
 func (t *LSMTree) Close() error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	if err := t.flushLocked(); err != nil {
-		return err
-	}
-	t.closeComponents()
-	return nil
-}
-
-// Put inserts or replaces a key, flushing if the memtable exceeds its
-// budget.
-func (t *LSMTree) Put(key, value []byte) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.mem.put(key, value)
-	return t.maybeFlushLocked()
-}
-
-// Delete removes a key (writes a tombstone).
-func (t *LSMTree) Delete(key []byte) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.mem.del(key)
-	return t.maybeFlushLocked()
-}
-
-func (t *LSMTree) maybeFlushLocked() error {
-	if t.mem.sizeBytes() < t.opts.MemBudgetBytes {
+	if t.closed {
+		t.mu.Unlock()
 		return nil
 	}
-	if err := t.flushLocked(); err != nil {
+	t.closed = true
+	t.cond.Broadcast()
+	t.mu.Unlock()
+
+	// In-flight maintenance observes the closed flag (or finishes its
+	// current install, which is still safe: the component list is not
+	// torn down until below) and exits.
+	t.bg.Wait()
+
+	t.mu.Lock()
+	err := t.lastErr
+	pendingFlushG.Add(-int64(len(t.imms)))
+	if err == nil {
+		// Final synchronous flush, oldest generation first, then the
+		// active memtable.
+		for len(t.imms) > 0 && err == nil {
+			im := t.imms[len(t.imms)-1]
+			var c *Component
+			if c, err = t.writeMemtable(im); err == nil {
+				t.components = append([]*Component{c}, t.components...)
+				t.imms = t.imms[:len(t.imms)-1]
+			}
+		}
+		if err == nil && t.mem.len() > 0 {
+			im := &immMem{mt: t.mem, seq: t.nextSeq}
+			t.nextSeq++
+			t.mem = newMemtable()
+			var c *Component
+			if c, err = t.writeMemtable(im); err == nil {
+				t.components = append([]*Component{c}, t.components...)
+			}
+		}
+	}
+	t.closeComponents()
+	t.mu.Unlock()
+	if t.ownSched {
+		t.sched.Close()
+	}
+	return err
+}
+
+// Put inserts or replaces a key. It never performs disk I/O: at worst
+// it rotates the full memtable into the background flush queue, and
+// stalls only when maintenance has fallen behind the configured
+// thresholds.
+func (t *LSMTree) Put(key, value []byte) error {
+	return t.write(key, value, false)
+}
+
+// Delete removes a key (writes a tombstone). Like Put, it never
+// performs disk I/O on the caller's goroutine.
+func (t *LSMTree) Delete(key []byte) error {
+	return t.write(key, nil, true)
+}
+
+func (t *LSMTree) write(key, value []byte, tombstone bool) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return fmt.Errorf("storage: write to closed tree %s", t.dir)
+	}
+	if t.lastErr != nil {
+		return t.lastErr
+	}
+	if err := t.stallLocked(); err != nil {
 		return err
 	}
-	if len(t.components) > t.opts.MaxComponents {
-		return t.mergeLocked()
+	if tombstone {
+		t.mem.del(key)
+	} else {
+		t.mem.put(key, value)
+	}
+	if t.mem.sizeBytes() >= t.opts.MemBudgetBytes {
+		t.rotateLocked()
 	}
 	return nil
 }
 
-// Flush forces the memtable to disk.
+// PutMulti applies several puts under a single lock acquisition and
+// stall check — the batched-ingest fast path for secondary indexes,
+// where one record expands to many small (token, pk) entries. values
+// may be nil, meaning every key maps to a nil value. Like Put, it
+// never performs disk I/O on the caller's goroutine; the memtable may
+// overshoot its budget by the batch's footprint before rotating.
+func (t *LSMTree) PutMulti(keys [][]byte, values [][]byte) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return fmt.Errorf("storage: write to closed tree %s", t.dir)
+	}
+	if t.lastErr != nil {
+		return t.lastErr
+	}
+	if err := t.stallLocked(); err != nil {
+		return err
+	}
+	for i, k := range keys {
+		var v []byte
+		if values != nil {
+			v = values[i]
+		}
+		t.mem.put(k, v)
+	}
+	if t.mem.sizeBytes() >= t.opts.MemBudgetBytes {
+		t.rotateLocked()
+	}
+	return nil
+}
+
+// stallLocked applies write backpressure: it blocks while rotated
+// memtables or disk components have piled past their thresholds and
+// maintenance is still able to make progress.
+func (t *LSMTree) stallLocked() error {
+	if len(t.imms) < t.opts.MaxImmutable && len(t.components) < t.opts.StallComponents {
+		return nil
+	}
+	stallCount.Inc()
+	start := time.Now()
+	defer func() { stallNs.Observe(time.Since(start).Nanoseconds()) }()
+	for {
+		if t.closed {
+			return fmt.Errorf("storage: write to closed tree %s", t.dir)
+		}
+		if t.lastErr != nil {
+			return t.lastErr
+		}
+		if len(t.imms) < t.opts.MaxImmutable && len(t.components) < t.opts.StallComponents {
+			return nil
+		}
+		t.scheduleFlushLocked()
+		t.maybeScheduleMergeLocked()
+		if !t.flushScheduled && !t.mergeActive {
+			// Nothing can make progress (e.g. a policy that refuses to
+			// merge below the stall threshold): admit the write rather
+			// than deadlock.
+			return nil
+		}
+		t.cond.Wait()
+	}
+}
+
+// rotateLocked moves the active memtable into the immutable flush
+// queue, stamping it with the component seq its flush will use, and
+// schedules a background flush.
+func (t *LSMTree) rotateLocked() {
+	if t.mem.len() == 0 {
+		return
+	}
+	t.imms = append([]*immMem{{mt: t.mem, seq: t.nextSeq}}, t.imms...)
+	t.nextSeq++
+	t.mem = newMemtable()
+	rotateCount.Inc()
+	pendingFlushG.Add(1)
+	t.scheduleFlushLocked()
+}
+
+// scheduleFlushLocked queues the flush task unless one is already
+// queued or running.
+func (t *LSMTree) scheduleFlushLocked() {
+	if t.flushScheduled || t.closed || t.lastErr != nil || len(t.imms) == 0 {
+		return
+	}
+	t.flushScheduled = true
+	t.bg.Add(1)
+	if !t.sched.Submit(t.flushTask) {
+		// Scheduler already closed (tree torn down out of order):
+		// Close's final synchronous flush picks the memtables up.
+		t.flushScheduled = false
+		t.bg.Done()
+	}
+}
+
+// flushTask drains the immutable-memtable queue oldest-first, so every
+// installed component is newer than all disk components beneath it.
+// One flush task runs per tree at a time; parallelism comes from
+// flushing many trees (partitions) at once on the shared scheduler.
+func (t *LSMTree) flushTask() {
+	defer t.bg.Done()
+	for {
+		t.mu.Lock()
+		if t.closed || t.lastErr != nil || len(t.imms) == 0 {
+			t.flushScheduled = false
+			t.maybeScheduleMergeLocked()
+			t.cond.Broadcast()
+			t.mu.Unlock()
+			return
+		}
+		im := t.imms[len(t.imms)-1]
+		delay := t.testFlushDelay
+		t.mu.Unlock()
+
+		if delay != nil {
+			delay()
+		}
+		c, err := t.writeMemtable(im)
+
+		t.mu.Lock()
+		if err != nil {
+			t.lastErr = err
+			t.flushScheduled = false
+			t.cond.Broadcast()
+			t.mu.Unlock()
+			return
+		}
+		t.components = append([]*Component{c}, t.components...)
+		t.imms = t.imms[:len(t.imms)-1]
+		pendingFlushG.Add(-1)
+		t.cond.Broadcast()
+		t.mu.Unlock()
+	}
+}
+
+// writeMemtable writes one immutable memtable to a new disk component.
+// The memtable is frozen, so no lock is needed while writing.
+func (t *LSMTree) writeMemtable(im *immMem) (*Component, error) {
+	start := time.Now()
+	path := filepath.Join(t.dir, componentName(im.seq, 0))
+	cw, err := NewComponentWriter(path, t.opts.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	for _, kv := range im.mt.snapshotRange(nil, nil) {
+		if err := cw.Add([]byte(kv.key), encodeEntry(kv.e)); err != nil {
+			cw.Abort()
+			return nil, err
+		}
+	}
+	if err := cw.Finish(); err != nil {
+		return nil, err
+	}
+	c, err := OpenComponent(path, t.opts.Cache)
+	if err != nil {
+		return nil, err
+	}
+	c.seq = im.seq
+	flushCount.Inc()
+	flushNs.Observe(time.Since(start).Nanoseconds())
+	flushBytes.Observe(c.SizeBytes())
+	return c, nil
+}
+
+// Flush synchronously forces every memtable generation to disk: it
+// rotates the active memtable and waits for the background flusher to
+// drain the queue.
 func (t *LSMTree) Flush() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.flushLocked()
+	return t.flushSyncLocked()
 }
 
-func (t *LSMTree) flushLocked() error {
-	if t.mem.len() == 0 {
-		return nil
+func (t *LSMTree) flushSyncLocked() error {
+	if t.closed {
+		return fmt.Errorf("storage: flush of closed tree %s", t.dir)
 	}
+	t.rotateLocked()
+	for len(t.imms) > 0 {
+		if t.lastErr != nil {
+			return t.lastErr
+		}
+		if t.closed {
+			return fmt.Errorf("storage: flush of closed tree %s", t.dir)
+		}
+		t.scheduleFlushLocked()
+		t.cond.Wait()
+	}
+	return t.lastErr
+}
+
+// Quiesce blocks until this tree has no pending background
+// maintenance: the flush queue is drained and the merge policy is
+// satisfied. Shutdown paths and tests use it to make the tree's shape
+// deterministic before inspecting or tearing down components.
+func (t *LSMTree) Quiesce() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
+		if t.closed {
+			return nil
+		}
+		if t.lastErr != nil {
+			return t.lastErr
+		}
+		t.scheduleFlushLocked()
+		t.maybeScheduleMergeLocked()
+		if len(t.imms) == 0 && !t.flushScheduled && !t.mergeActive {
+			return nil
+		}
+		t.cond.Wait()
+	}
+}
+
+// componentStatsLocked summarizes the disk components for the merge
+// policy, newest first.
+func (t *LSMTree) componentStatsLocked() []ComponentStats {
+	out := make([]ComponentStats, len(t.components))
+	for i, c := range t.components {
+		out[i] = ComponentStats{Entries: c.Len(), Bytes: c.SizeBytes()}
+	}
+	return out
+}
+
+// maybeScheduleMergeLocked queues the merge task when the policy wants
+// one and no merge is already in flight.
+func (t *LSMTree) maybeScheduleMergeLocked() {
+	if t.mergeActive || t.closed || t.lastErr != nil {
+		return
+	}
+	if t.opts.MergePolicy.Pick(t.componentStatsLocked()) <= 1 {
+		return
+	}
+	t.mergeActive = true
+	pendingMergeG.Add(1)
+	t.bg.Add(1)
+	if !t.sched.Submit(t.mergeTask) {
+		t.mergeActive = false
+		pendingMergeG.Add(-1)
+		t.bg.Done()
+	}
+}
+
+// mergeTask runs one policy-chosen merge in the background.
+func (t *LSMTree) mergeTask() {
+	defer t.bg.Done()
+	t.mu.Lock()
+	if t.closed || t.lastErr != nil {
+		t.finishMergeLocked()
+		t.mu.Unlock()
+		return
+	}
+	n := t.opts.MergePolicy.Pick(t.componentStatsLocked())
+	if n <= 1 || n > len(t.components) {
+		t.finishMergeLocked()
+		t.mu.Unlock()
+		return
+	}
+	inputs := append([]*Component(nil), t.components[:n]...)
+	drop := n == len(t.components)
+	delay := t.testMergeDelay
+	t.mu.Unlock()
+
+	err := t.mergeComponents(inputs, drop, delay)
+
+	t.mu.Lock()
+	if err != nil && t.lastErr == nil {
+		t.lastErr = err
+	}
+	t.finishMergeLocked()
+	t.maybeScheduleMergeLocked() // policies may want another round
+	t.mu.Unlock()
+}
+
+func (t *LSMTree) finishMergeLocked() {
+	t.mergeActive = false
+	pendingMergeG.Add(-1)
+	t.cond.Broadcast()
+}
+
+// mergeComponents merges the given newest-prefix of the component list
+// into one component, installs it in the inputs' place, and retires
+// the inputs. Tombstones are dropped only when drop is set (the inputs
+// covered every component, so nothing older can resurface). Runs
+// without the tree lock except for the install; concurrent flushes may
+// prepend newer components meanwhile, which the positional install
+// tolerates.
+func (t *LSMTree) mergeComponents(inputs []*Component, drop bool, delay func()) error {
 	start := time.Now()
-	path := filepath.Join(t.dir, fmt.Sprintf("c%d.cmp", t.nextSeq))
+	seq := inputs[0].seq
+	t.mu.Lock()
+	gen := t.nextGen
+	t.nextGen++
+	t.mu.Unlock()
+
+	path := filepath.Join(t.dir, componentName(seq, gen))
 	cw, err := NewComponentWriter(path, t.opts.PageSize)
 	if err != nil {
 		return err
 	}
-	for _, kv := range t.mem.snapshotRange(nil, nil) {
-		if err := cw.Add([]byte(kv.key), encodeEntry(kv.e)); err != nil {
+	iters := make([]*Iterator, len(inputs))
+	for i, c := range inputs {
+		iters[i] = c.NewIterator(nil, nil)
+	}
+	merge := newMergeIter(iters)
+	for merge.next() {
+		if _, dead := decodeEntry(merge.val); dead && drop {
+			continue
+		}
+		if err := cw.Add(merge.key, merge.val); err != nil {
 			cw.Abort()
 			return err
 		}
+	}
+	if merge.err != nil {
+		cw.Abort()
+		return merge.err
+	}
+	if delay != nil {
+		delay()
 	}
 	if err := cw.Finish(); err != nil {
 		return err
@@ -199,13 +663,76 @@ func (t *LSMTree) flushLocked() error {
 	if err != nil {
 		return err
 	}
-	t.components = append([]*Component{c}, t.components...)
-	t.nextSeq++
-	t.mem = newMemtable()
-	flushCount.Inc()
-	flushNs.Observe(time.Since(start).Nanoseconds())
-	flushBytes.Observe(c.SizeBytes())
-	return nil
+	c.seq, c.gen = seq, gen
+
+	t.mu.Lock()
+	i := 0
+	for i < len(t.components) && t.components[i] != inputs[0] {
+		i++
+	}
+	if i+len(inputs) > len(t.components) {
+		// The inputs are no longer a contiguous span of the list: the
+		// tree was mutated in a way only shutdown can cause. Discard
+		// the merge output rather than corrupt the list.
+		t.mu.Unlock()
+		c.Remove()
+		return nil
+	}
+	newList := make([]*Component, 0, len(t.components)-len(inputs)+1)
+	newList = append(newList, t.components[:i]...)
+	newList = append(newList, c)
+	newList = append(newList, t.components[i+len(inputs):]...)
+	t.components = newList
+	t.cond.Broadcast()
+	t.mu.Unlock()
+
+	var firstErr error
+	for _, oc := range inputs {
+		if err := oc.Remove(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	mergeCount.Inc()
+	mergeNs.Observe(time.Since(start).Nanoseconds())
+	return firstErr
+}
+
+// Merge forces a full compaction: flush everything, then merge every
+// disk component into one. It waits for any in-flight background merge
+// first and runs the compaction on the caller's goroutine.
+func (t *LSMTree) Merge() error {
+	t.mu.Lock()
+	if err := t.flushSyncLocked(); err != nil {
+		t.mu.Unlock()
+		return err
+	}
+	for t.mergeActive {
+		t.cond.Wait()
+		if t.closed || t.lastErr != nil {
+			err := t.lastErr
+			t.mu.Unlock()
+			return err
+		}
+	}
+	if len(t.components) <= 1 {
+		t.mu.Unlock()
+		return nil
+	}
+	t.mergeActive = true
+	pendingMergeG.Add(1)
+	inputs := append([]*Component(nil), t.components...)
+	delay := t.testMergeDelay
+	t.mu.Unlock()
+
+	err := t.mergeComponents(inputs, true, delay)
+
+	t.mu.Lock()
+	if err != nil && t.lastErr == nil {
+		t.lastErr = err
+	}
+	t.finishMergeLocked()
+	t.mu.Unlock()
+	return err
 }
 
 // encodeEntry prefixes a component value with a tombstone flag byte.
@@ -223,69 +750,6 @@ func decodeEntry(v []byte) (value []byte, tombstone bool) {
 		return nil, true
 	}
 	return v[1:], v[0] == 1
-}
-
-// mergeLocked merges every disk component into one (size-tiered full
-// merge), dropping tombstones and shadowed versions.
-func (t *LSMTree) mergeLocked() error {
-	if len(t.components) <= 1 {
-		return nil
-	}
-	start := time.Now()
-	path := filepath.Join(t.dir, fmt.Sprintf("c%d.cmp", t.nextSeq))
-	cw, err := NewComponentWriter(path, t.opts.PageSize)
-	if err != nil {
-		return err
-	}
-	iters := make([]*Iterator, len(t.components))
-	for i, c := range t.components {
-		iters[i] = c.NewIterator(nil, nil)
-	}
-	merge := newMergeIter(iters)
-	for merge.next() {
-		if _, dead := decodeEntry(merge.val); dead {
-			continue // tombstone: fully merged, so drop it
-		}
-		if err := cw.Add(merge.key, merge.val); err != nil {
-			cw.Abort()
-			return err
-		}
-	}
-	if merge.err != nil {
-		cw.Abort()
-		return merge.err
-	}
-	if err := cw.Finish(); err != nil {
-		return err
-	}
-	c, err := OpenComponent(path, t.opts.Cache)
-	if err != nil {
-		return err
-	}
-	old := t.components
-	t.components = []*Component{c}
-	t.nextSeq++
-	// Retire the merged-away components: mark their files for deletion
-	// and release the tree's reference. Snapshots still reading them
-	// keep the files alive until their own references drain.
-	for _, oc := range old {
-		if err := oc.Remove(); err != nil {
-			return err
-		}
-	}
-	mergeCount.Inc()
-	mergeNs.Observe(time.Since(start).Nanoseconds())
-	return nil
-}
-
-// Merge forces a full compaction of the disk components.
-func (t *LSMTree) Merge() error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if err := t.flushLocked(); err != nil {
-		return err
-	}
-	return t.mergeLocked()
 }
 
 // mergeIter merges component iterators newest-first: on equal keys the
@@ -343,9 +807,10 @@ func (m *mergeIter) next() bool {
 	return true
 }
 
-// Get returns the newest value for key, consulting the memtable first
-// and then disk components newest-first through their bloom filters.
-// It holds the tree lock only while acquiring a snapshot.
+// Get returns the newest value for key, consulting the memtable
+// generations first and then disk components newest-first through
+// their bloom filters. It holds the tree lock only while acquiring a
+// snapshot.
 func (t *LSMTree) Get(key []byte) ([]byte, bool, error) {
 	s := t.Snapshot()
 	defer s.Close()
@@ -353,10 +818,10 @@ func (t *LSMTree) Get(key []byte) ([]byte, bool, error) {
 }
 
 // Scan calls fn for each live (key, value) with key in [start, end) in
-// key order, merging the memtable and all components. fn must not
-// retain its arguments. Iteration stops early if fn returns false. fn
-// runs with no tree lock held — it may take arbitrarily long without
-// blocking writers.
+// key order, merging every memtable generation and all components. fn
+// must not retain its arguments. Iteration stops early if fn returns
+// false. fn runs with no tree lock held — it may take arbitrarily long
+// without blocking writers.
 func (t *LSMTree) Scan(start, end []byte, fn func(key, value []byte) bool) error {
 	return t.ScanContext(nil, start, end, fn)
 }
@@ -378,10 +843,10 @@ func (t *LSMTree) ScanContext(ctx context.Context, start, end []byte, fn func(ke
 func (t *LSMTree) BulkLoad(next func() (key, value []byte, ok bool, err error)) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.mem.len() != 0 || len(t.components) != 0 {
+	if t.mem.len() != 0 || len(t.imms) != 0 || len(t.components) != 0 {
 		return fmt.Errorf("storage: bulk load into non-empty tree")
 	}
-	path := filepath.Join(t.dir, fmt.Sprintf("c%d.cmp", t.nextSeq))
+	path := filepath.Join(t.dir, componentName(t.nextSeq, 0))
 	cw, err := NewComponentWriter(path, t.opts.PageSize)
 	if err != nil {
 		return err
@@ -415,6 +880,7 @@ func (t *LSMTree) BulkLoad(next func() (key, value []byte, ok bool, err error)) 
 	if err != nil {
 		return err
 	}
+	c.seq = t.nextSeq
 	t.components = []*Component{c}
 	t.nextSeq++
 	return nil
@@ -422,8 +888,11 @@ func (t *LSMTree) BulkLoad(next func() (key, value []byte, ok bool, err error)) 
 
 // Stats describes the tree's current shape.
 type Stats struct {
-	MemEntries     int
-	MemBytes       int64
+	MemEntries     int   // active memtable
+	MemBytes       int64 // active memtable footprint
+	ImmMemtables   int   // rotated memtables awaiting flush
+	ImmEntries     int   // entries across rotated memtables
+	ImmBytes       int64 // footprint across rotated memtables
 	DiskComponents int
 	DiskEntries    int64
 	DiskBytes      int64
@@ -434,7 +903,16 @@ type Stats struct {
 func (t *LSMTree) Stats() Stats {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	s := Stats{MemEntries: t.mem.len(), MemBytes: t.mem.sizeBytes(), DiskComponents: len(t.components)}
+	s := Stats{
+		MemEntries:     t.mem.len(),
+		MemBytes:       t.mem.sizeBytes(),
+		ImmMemtables:   len(t.imms),
+		DiskComponents: len(t.components),
+	}
+	for _, im := range t.imms {
+		s.ImmEntries += im.mt.len()
+		s.ImmBytes += im.mt.sizeBytes()
+	}
 	for _, c := range t.components {
 		s.DiskEntries += c.Len()
 		s.DiskBytes += c.SizeBytes()
@@ -446,5 +924,5 @@ func (t *LSMTree) Stats() Stats {
 // include shadowed versions until a merge).
 func (t *LSMTree) Len() int64 {
 	s := t.Stats()
-	return int64(s.MemEntries) + s.DiskEntries
+	return int64(s.MemEntries) + int64(s.ImmEntries) + s.DiskEntries
 }

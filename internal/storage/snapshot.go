@@ -6,26 +6,31 @@ import (
 	"sync"
 )
 
-// TreeSnapshot is a refcounted read view of an LSM tree: a reference to
-// the tree's current memtable plus its immutable disk-component list,
-// acquired under a brief lock. Reads against the snapshot then proceed
-// without holding any tree lock, so arbitrarily slow scans (operator
-// pipelines running user code per tuple) never block writers, flushes,
-// or merges — the component-lifecycle discipline of LSM storage
-// managers, where immutable disk components exist precisely so readers
-// never block writers.
+// TreeSnapshot is a refcounted read view of an LSM tree: references to
+// the tree's memtable generations (the active memtable plus every
+// rotated, flush-pending immutable memtable) and its immutable
+// disk-component list, acquired under a brief lock. Reads against the
+// snapshot then proceed without holding any tree lock, so arbitrarily
+// slow scans (operator pipelines running user code per tuple) never
+// block writers, flushes, or merges — the component-lifecycle
+// discipline of LSM storage managers, where immutable disk components
+// exist precisely so readers never block writers.
 //
 // Semantics: the disk-component list is a true point-in-time view
 // (merges retire components only after every snapshot referencing them
-// is closed). The memtable reference is read-committed — a Get or the
-// start of a Scan observes writes applied to the still-live memtable
-// after the snapshot was taken; once a flush rotates the memtable out,
-// the snapshot keeps reading the frozen, no-longer-mutated instance.
+// is closed). The active-memtable reference is read-committed — a Get
+// or the start of a Scan observes writes applied to the still-live
+// memtable after the snapshot was taken; once a rotation retires the
+// memtable, the snapshot keeps reading the frozen, no-longer-mutated
+// instance. Rotated memtables pinned by the snapshot stay readable
+// even after the background flusher installs their disk components:
+// a snapshot sees each generation exactly once — either the memtable
+// it pinned or a component installed before it was taken, never both.
 //
 // Close must be called exactly once when done; it is what lets retired
 // components drain and delete their files.
 type TreeSnapshot struct {
-	mem        *memtable
+	mems       []*memtable  // newest first: active, then rotated generations
 	components []*Component // newest first
 	once       sync.Once
 }
@@ -34,8 +39,12 @@ type TreeSnapshot struct {
 func (t *LSMTree) Snapshot() *TreeSnapshot {
 	t.mu.RLock()
 	s := &TreeSnapshot{
-		mem:        t.mem,
+		mems:       make([]*memtable, 0, 1+len(t.imms)),
 		components: make([]*Component, len(t.components)),
+	}
+	s.mems = append(s.mems, t.mem)
+	for _, im := range t.imms {
+		s.mems = append(s.mems, im.mt)
 	}
 	copy(s.components, t.components)
 	for _, c := range s.components {
@@ -58,14 +67,16 @@ func (s *TreeSnapshot) Close() {
 func (s *TreeSnapshot) Components() int { return len(s.components) }
 
 // Get returns the newest value for key in the snapshot, consulting the
-// memtable first and then disk components newest-first through their
-// bloom filters. No tree lock is held.
+// memtable generations newest-first and then disk components
+// newest-first through their bloom filters. No tree lock is held.
 func (s *TreeSnapshot) Get(key []byte) ([]byte, bool, error) {
-	if v, dead, ok := s.mem.get(key); ok {
-		if dead {
-			return nil, false, nil
+	for _, m := range s.mems {
+		if v, dead, ok := m.get(key); ok {
+			if dead {
+				return nil, false, nil
+			}
+			return v, true, nil
 		}
-		return v, true, nil
 	}
 	for _, c := range s.components {
 		v, ok, err := c.Get(key)
@@ -83,12 +94,60 @@ func (s *TreeSnapshot) Get(key []byte) ([]byte, bool, error) {
 	return nil, false, nil
 }
 
+// memCursor merges the sorted ranges of several memtable generations
+// (newest first) into one logical stream where the newest generation
+// shadows older ones on equal keys.
+type memCursor struct {
+	lists [][]memKV
+	pos   []int
+}
+
+func newMemCursor(mems []*memtable, start, end []byte) *memCursor {
+	mc := &memCursor{
+		lists: make([][]memKV, len(mems)),
+		pos:   make([]int, len(mems)),
+	}
+	for i, m := range mems {
+		mc.lists[i] = m.snapshotRange(start, end)
+	}
+	return mc
+}
+
+// peek returns the smallest current key; on ties the newest
+// (lowest-index) generation wins.
+func (mc *memCursor) peek() (memKV, bool) {
+	best := -1
+	for i := range mc.lists {
+		if mc.pos[i] >= len(mc.lists[i]) {
+			continue
+		}
+		if best < 0 || mc.lists[i][mc.pos[i]].key < mc.lists[best][mc.pos[best]].key {
+			best = i
+		}
+	}
+	if best < 0 {
+		return memKV{}, false
+	}
+	return mc.lists[best][mc.pos[best]], true
+}
+
+// advance steps every generation positioned on key past it, consuming
+// shadowed duplicates.
+func (mc *memCursor) advance(key string) {
+	for i := range mc.lists {
+		if mc.pos[i] < len(mc.lists[i]) && mc.lists[i][mc.pos[i]].key == key {
+			mc.pos[i]++
+		}
+	}
+}
+
 // Scan calls fn for each live (key, value) with key in [start, end) in
-// key order, merging the memtable view and all snapshot components. fn
-// must not retain its arguments. Iteration stops early if fn returns
-// false, or with ctx.Err() once ctx is cancelled (checked every few
-// hundred entries). fn runs with no lock held, so a slow consumer never
-// starves writers. A nil ctx disables cancellation checks.
+// key order, merging the memtable generations and all snapshot
+// components. fn must not retain its arguments. Iteration stops early
+// if fn returns false, or with ctx.Err() once ctx is cancelled
+// (checked every few hundred entries). fn runs with no lock held, so a
+// slow consumer never starves writers. A nil ctx disables cancellation
+// checks.
 func (s *TreeSnapshot) Scan(ctx context.Context, start, end []byte, fn func(key, value []byte) bool) error {
 	iters := make([]*Iterator, len(s.components))
 	for i, c := range s.components {
@@ -97,8 +156,7 @@ func (s *TreeSnapshot) Scan(ctx context.Context, start, end []byte, fn func(key,
 	merge := newMergeIter(iters)
 	diskValid := merge.next()
 
-	memEntries := s.mem.snapshotRange(start, end)
-	mi := 0
+	mems := newMemCursor(s.mems, start, end)
 
 	const cancelCheckEvery = 512
 	steps := 0
@@ -110,16 +168,17 @@ func (s *TreeSnapshot) Scan(ctx context.Context, start, end []byte, fn func(key,
 				}
 			}
 		}
+		mkv, memValid := mems.peek()
 		var useMem bool
 		switch {
-		case mi < len(memEntries) && diskValid:
-			c := bytes.Compare([]byte(memEntries[mi].key), merge.key)
+		case memValid && diskValid:
+			c := bytes.Compare([]byte(mkv.key), merge.key)
 			useMem = c <= 0
 			if c == 0 {
 				// Memtable shadows disk: skip the disk version.
 				diskValid = merge.next()
 			}
-		case mi < len(memEntries):
+		case memValid:
 			useMem = true
 		case diskValid:
 			useMem = false
@@ -127,12 +186,11 @@ func (s *TreeSnapshot) Scan(ctx context.Context, start, end []byte, fn func(key,
 			return merge.err
 		}
 		if useMem {
-			kv := memEntries[mi]
-			mi++
-			if kv.e.tombstone {
+			mems.advance(mkv.key)
+			if mkv.e.tombstone {
 				continue
 			}
-			if !fn([]byte(kv.key), kv.e.value) {
+			if !fn([]byte(mkv.key), mkv.e.value) {
 				return nil
 			}
 		} else {
