@@ -67,6 +67,9 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.DataDir == "" {
 		return nil, fmt.Errorf("cluster: DataDir is required")
 	}
+	if !storage.ValidWALSyncMode(cfg.WALSyncMode) {
+		return nil, fmt.Errorf("cluster: invalid WALSyncMode %q (want commit, interval, or off)", cfg.WALSyncMode)
+	}
 	if cfg.QueryMemoryBudget == 0 {
 		// The CI low-memory job forces spill paths under the whole test
 		// suite through this; an explicit config wins over it.

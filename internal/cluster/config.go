@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"simdb/internal/invindex"
+	"simdb/internal/storage"
 )
 
 // Config mirrors the paper's Table 2 knobs, scaled for a single-host
@@ -83,6 +84,25 @@ type Config struct {
 	// in-memory components: writers stall once this many pile up until
 	// background flushing catches up. Default 4.
 	StallThreshold int
+	// WALSyncMode selects crash durability for ingestion. "commit" (the
+	// default) fsyncs the per-partition write-ahead log before
+	// acknowledging, with concurrent committers coalesced into one
+	// fsync; "interval" acknowledges immediately and fsyncs on a timer
+	// (WALSyncInterval), trading the last interval's tail for latency;
+	// "off" disables logging entirely — unflushed memtables die with
+	// the process.
+	WALSyncMode string
+	// WALSegmentBytes rotates WAL segment files at this size (default
+	// 4 MiB); retired segments are deleted once flush checkpoints cover
+	// them.
+	WALSegmentBytes int64
+	// WALSyncInterval is the background fsync period in interval mode
+	// (default 25ms).
+	WALSyncInterval time.Duration
+	// FS routes all storage file operations; nil uses the real
+	// filesystem. Crash-recovery tests inject a fault-injecting
+	// implementation.
+	FS storage.VFS
 }
 
 // WithDefaults fills unset fields.
@@ -122,6 +142,15 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.StallThreshold <= 0 {
 		c.StallThreshold = 4
+	}
+	if c.WALSyncMode == "" {
+		c.WALSyncMode = string(storage.WALSyncCommit)
+	}
+	if c.WALSegmentBytes <= 0 {
+		c.WALSegmentBytes = 4 << 20
+	}
+	if c.WALSyncInterval <= 0 {
+		c.WALSyncInterval = 25 * time.Millisecond
 	}
 	return c
 }

@@ -41,6 +41,25 @@ type ingestBatch struct {
 
 	mu   sync.Mutex
 	errs []error
+
+	// walHigh tracks, per WAL touched by this batch, the highest LSN any
+	// of the batch's commits reached. InsertBatch waits for these LSNs
+	// to become durable before acknowledging — one coalesced fsync per
+	// touched partition per batch instead of one per record.
+	walMu   sync.Mutex
+	walHigh map[*storage.WAL]uint64
+}
+
+// trackLSN records that this batch committed through lsn on w.
+func (b *ingestBatch) trackLSN(w *storage.WAL, lsn uint64) {
+	b.walMu.Lock()
+	if b.walHigh == nil {
+		b.walHigh = map[*storage.WAL]uint64{}
+	}
+	if lsn > b.walHigh[w] {
+		b.walHigh[w] = lsn
+	}
+	b.walMu.Unlock()
 }
 
 func (b *ingestBatch) fail(err error) {
@@ -149,6 +168,7 @@ func (ing *ingester) close() {
 type treeCache struct {
 	primaries map[int]*storage.LSMTree
 	inverted  map[string]*invindex.Index
+	wals      map[int]*storage.WAL
 }
 
 func (ing *ingester) worker(q chan ingestChunk) {
@@ -157,14 +177,65 @@ func (ing *ingester) worker(q chan ingestChunk) {
 		cache := treeCache{
 			primaries: map[int]*storage.LSMTree{},
 			inverted:  map[string]*invindex.Index{},
+			wals:      map[int]*storage.WAL{},
 		}
 		applied := int64(0)
+		// WAL-attached records accumulate per partition log and commit
+		// through one CommitGroups call per (chunk, WAL): each record
+		// keeps its own atomic commit record, but the whole chunk pays
+		// one lock acquisition and one syncer wakeup. Per-record commits
+		// made the group-commit path drain the log as thousands of tiny
+		// segment writes.
+		var walOrder []*storage.WAL
+		var walGroups map[*storage.WAL][][]storage.GroupWrite
+		// One arena for the chunk's write groups: a group sliced off an
+		// earlier allocation stays valid after the arena grows, and the
+		// hot no-index path stops paying one slice allocation per record.
+		arena := make([]storage.GroupWrite, 0, 2*len(chunk.ops))
 		for _, op := range chunk.ops {
-			if err := ing.apply(op, &cache); err != nil {
+			var wal *storage.WAL
+			var writes []storage.GroupWrite
+			var err error
+			wal, arena, writes, err = ing.prepare(op, &cache, arena)
+			switch {
+			case err != nil:
 				chunk.batch.fail(err)
-			} else {
-				applied++
+			case wal == nil:
+				if err := ing.applyDirect(op, &cache); err != nil {
+					chunk.batch.fail(err)
+				} else {
+					applied++
+				}
+			default:
+				if walGroups == nil {
+					walGroups = map[*storage.WAL][][]storage.GroupWrite{}
+				}
+				if _, ok := walGroups[wal]; !ok {
+					walOrder = append(walOrder, wal)
+				}
+				walGroups[wal] = append(walGroups[wal], writes)
 			}
+		}
+		for _, wal := range walOrder {
+			groups := walGroups[wal]
+			lsns, err := storage.CommitGroups(wal, groups)
+			if err != nil {
+				for range groups {
+					chunk.batch.fail(err)
+				}
+				continue
+			}
+			hi := lsns[len(lsns)-1]
+			chunk.batch.trackLSN(wal, hi)
+			// In commit mode, start the fsync now rather than at batch
+			// end: the sync runs while this worker prepares the next
+			// chunk, so the batch-end WaitDurable finds most of the log
+			// already durable instead of paying the whole latency
+			// serially. Interval mode stays on its timer.
+			if wal.Mode() == storage.WALSyncCommit {
+				wal.RequestSync(hi)
+			}
+			applied += int64(len(groups))
 		}
 		ingestRecords.Add(applied)
 		ing.pending.Add(-int64(len(chunk.ops)))
@@ -172,21 +243,76 @@ func (ing *ingester) worker(q chan ingestChunk) {
 	}
 }
 
-// apply writes one record's primary entry and all its secondary-index
-// entries as a unit: if any index insert fails, the already-applied
-// entries are rolled back (index postings removed, primary pre-image
-// restored) so no query can observe a half-indexed record.
-func (ing *ingester) apply(op *ingestOp, cache *treeCache) error {
+// prepare resolves one record's trees and builds its atomic write
+// group. With a WAL attached it returns the partition's log plus the
+// primary row and every secondary-index posting as GroupWrites —
+// tokenization and index resolution happen here, before anything is
+// written, so a failure leaves no partial state and there is nothing to
+// roll back; the worker commits whole chunks of prepared groups through
+// storage.CommitGroups. Without a WAL the returned group is nil and the
+// record goes through applyDirect. The group is appended to arena and
+// sliced off it; the updated arena is returned either way.
+func (ing *ingester) prepare(op *ingestOp, cache *treeCache, arena []storage.GroupWrite) (*storage.WAL, []storage.GroupWrite, []storage.GroupWrite, error) {
 	node := ing.c.nodeOfPartition(op.part)
 	tree, ok := cache.primaries[op.part]
 	if !ok {
 		var err error
 		tree, err = node.primary(op.dv, op.ds, op.part)
 		if err != nil {
-			return err
+			return nil, arena, nil, err
 		}
 		cache.primaries[op.part] = tree
 	}
+	wal, ok := cache.wals[op.part]
+	if !ok {
+		var err error
+		wal, err = node.partitionWAL(op.dv, op.ds, op.part)
+		if err != nil {
+			return nil, arena, nil, err
+		}
+		cache.wals[op.part] = wal
+	}
+	if wal == nil {
+		return nil, arena, nil, nil
+	}
+
+	start := len(arena)
+	arena = append(arena, storage.GroupWrite{Tree: tree, Key: op.key, Val: adm.Encode(op.rec)})
+	for _, ix := range op.meta.Indexes {
+		tokens := IndexTokens(ix, op.rec)
+		if len(tokens) == 0 {
+			continue
+		}
+		ixKey := fmt.Sprintf("%s/%d", ix.Name, op.part)
+		inv, ok := cache.inverted[ixKey]
+		if !ok {
+			var err error
+			inv, err = node.invIndex(op.dv, op.ds, ix.Name, op.part)
+			if err != nil {
+				return nil, arena[:start], nil, err
+			}
+			cache.inverted[ixKey] = inv
+		}
+		if hook := ing.c.testIndexFail.Load(); hook != nil {
+			if err := (*hook)(op.dv, op.ds, ix.Name); err != nil {
+				return nil, arena[:start], nil, err
+			}
+		}
+		for _, ek := range inv.EntryKeys(tokens, invindex.PK(op.key)) {
+			arena = append(arena, storage.GroupWrite{Tree: inv.Tree(), Key: ek})
+		}
+	}
+	return wal, arena, arena[start:len(arena):len(arena)], nil
+}
+
+// applyDirect is the legacy no-WAL write path: it applies the primary
+// entry and index postings directly and rolls back on index failure
+// (postings removed, primary pre-image restored) so no query can
+// observe a half-indexed record. Caller has already run prepare, so the
+// partition's primary tree is in the cache.
+func (ing *ingester) applyDirect(op *ingestOp, cache *treeCache) error {
+	node := ing.c.nodeOfPartition(op.part)
+	tree := cache.primaries[op.part]
 
 	// Pre-image for rollback, only needed when index maintenance can
 	// fail after the primary write.
@@ -301,6 +427,25 @@ func (c *Cluster) InsertBatch(dv, ds string, recs []adm.Value) error {
 	}
 	c.ing.enqueueBatch(b, ops)
 	<-b.done
+	// Durability barrier: start every touched partition's fsync before
+	// waiting on any, so the per-batch sync cost is the slowest single
+	// fsync, not their sum. In interval/off modes WaitDurable returns
+	// immediately.
+	b.walMu.Lock()
+	walHigh := b.walHigh
+	b.walMu.Unlock()
+	for w, lsn := range walHigh {
+		w.RequestSync(lsn)
+	}
+	var walErrs []error
+	for w, lsn := range walHigh {
+		if err := w.WaitDurable(lsn); err != nil {
+			walErrs = append(walErrs, err)
+		}
+	}
+	if len(walErrs) > 0 {
+		return errors.Join(append(walErrs, b.err())...)
+	}
 	return b.err()
 }
 

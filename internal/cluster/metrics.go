@@ -88,7 +88,9 @@ func (c *Cluster) Metrics() obs.Snapshot {
 	var immMemtables, immEntries, immBytes int64
 	var maintPending, maintRunning int64
 	var cacheHits, cacheMisses, cacheEvictions, pagesRead int64
+	var walSegments int64
 	for _, n := range c.nodes {
+		walSegments += int64(n.WALSegments())
 		cs := n.CacheStats()
 		cacheHits += cs.Hits
 		cacheMisses += cs.Misses
@@ -121,6 +123,7 @@ func (c *Cluster) Metrics() obs.Snapshot {
 	r.Gauge("storage.disk.bytes").Set(diskBytes)
 	r.Gauge("storage.maintenance.pool_pending").Set(maintPending)
 	r.Gauge("storage.maintenance.pool_running").Set(maintRunning)
+	r.Gauge("storage.wal.segments").Set(walSegments)
 	r.Gauge("cluster.ingest.queue_depth").Set(int64(c.ing.queued()))
 	r.Gauge("storage.cache.hits").Set(cacheHits)
 	r.Gauge("storage.cache.misses").Set(cacheMisses)

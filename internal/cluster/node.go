@@ -2,7 +2,6 @@ package cluster
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -24,15 +23,27 @@ type NodeController struct {
 	// maintenance I/O per node stays bounded regardless of tree count.
 	maint *storage.Scheduler
 
+	// fs routes every storage file operation so crash-recovery tests
+	// can inject faults; defaults to the real filesystem.
+	fs storage.VFS
+
 	mu        sync.Mutex
 	primaries map[string]*storage.LSMTree // key: dv.ds/p<part>
 	inverted  map[string]*invindex.Index  // key: dv.ds.ix/p<part>
-	cfg       Config
+	// wals holds one write-ahead log per dataset partition, shared by
+	// the primary tree and every secondary index of that partition so a
+	// record and its postings commit atomically. Key: dv.ds/p<part>.
+	wals map[string]*storage.WAL
+	cfg  Config
 }
 
 func newNodeController(id int, cfg Config) (*NodeController, error) {
+	fs := cfg.FS
+	if fs == nil {
+		fs = storage.OS
+	}
 	dir := filepath.Join(cfg.DataDir, fmt.Sprintf("node%d", id))
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fs.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("cluster: node %d storage: %w", id, err)
 	}
 	return &NodeController{
@@ -40,8 +51,10 @@ func newNodeController(id int, cfg Config) (*NodeController, error) {
 		dir:       dir,
 		cache:     storage.NewBufferCache(int(cfg.DiskBufferCacheBytes), cfg.PageSize),
 		maint:     storage.NewScheduler(cfg.MaintenanceWorkers),
+		fs:        fs,
 		primaries: map[string]*storage.LSMTree{},
 		inverted:  map[string]*invindex.Index{},
+		wals:      map[string]*storage.WAL{},
 		cfg:       cfg,
 	}, nil
 }
@@ -63,7 +76,40 @@ func (n *NodeController) lsmOptions() storage.LSMOptions {
 		Cache:          n.cache,
 		Maintenance:    n.maint,
 		MaxImmutable:   n.cfg.StallThreshold,
+		FS:             n.fs,
 	}
+}
+
+// walForLocked opens (or returns) the dataset partition's shared WAL.
+// Returns nil when WALSyncMode is "off". Caller holds n.mu.
+func (n *NodeController) walForLocked(dv, ds string, part int) (*storage.WAL, error) {
+	if storage.WALSyncMode(n.cfg.WALSyncMode) == storage.WALSyncOff {
+		return nil, nil
+	}
+	key := fmt.Sprintf("%s.%s/p%d", dv, ds, part)
+	if w, ok := n.wals[key]; ok {
+		return w, nil
+	}
+	dir := filepath.Join(n.dir, sanitize(dv), sanitize(ds), fmt.Sprintf("w%d", part))
+	w, err := storage.OpenWAL(dir, storage.WALOptions{
+		Mode:         storage.WALSyncMode(n.cfg.WALSyncMode),
+		SegmentBytes: n.cfg.WALSegmentBytes,
+		SyncInterval: n.cfg.WALSyncInterval,
+		FS:           n.fs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.wals[key] = w
+	return w, nil
+}
+
+// partitionWAL returns the dataset partition's WAL, opening it if
+// needed; nil when the WAL is disabled.
+func (n *NodeController) partitionWAL(dv, ds string, part int) (*storage.WAL, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.walForLocked(dv, ds, part)
 }
 
 // primary opens (or creates) the local partition of a dataset's primary
@@ -75,8 +121,14 @@ func (n *NodeController) primary(dv, ds string, part int) (*storage.LSMTree, err
 	if t, ok := n.primaries[key]; ok {
 		return t, nil
 	}
+	wal, err := n.walForLocked(dv, ds, part)
+	if err != nil {
+		return nil, err
+	}
 	dir := filepath.Join(n.dir, sanitize(dv), sanitize(ds), fmt.Sprintf("p%d", part))
-	t, err := storage.OpenLSM(dir, n.lsmOptions())
+	opts := n.lsmOptions()
+	opts.WAL, opts.WALTree = wal, "p"
+	t, err := storage.OpenLSM(dir, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -93,8 +145,14 @@ func (n *NodeController) invIndex(dv, ds, ix string, part int) (*invindex.Index,
 	if t, ok := n.inverted[key]; ok {
 		return t, nil
 	}
+	wal, err := n.walForLocked(dv, ds, part)
+	if err != nil {
+		return nil, err
+	}
 	dir := filepath.Join(n.dir, sanitize(dv), sanitize(ds), "idx_"+sanitize(ix), fmt.Sprintf("p%d", part))
-	t, err := invindex.Open(dir, n.lsmOptions())
+	opts := n.lsmOptions()
+	opts.WAL, opts.WALTree = wal, "i:"+ix
+	t, err := invindex.Open(dir, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -119,7 +177,13 @@ func (n *NodeController) dropDataset(dv, ds string) error {
 			delete(n.inverted, key)
 		}
 	}
-	return os.RemoveAll(filepath.Join(n.dir, sanitize(dv), sanitize(ds)))
+	for key, w := range n.wals {
+		if strings.HasPrefix(key, prefix+"/") {
+			w.Close()
+			delete(n.wals, key)
+		}
+	}
+	return n.fs.RemoveAll(filepath.Join(n.dir, sanitize(dv), sanitize(ds)))
 }
 
 // close shuts down every open tree, then the node's maintenance pool
@@ -139,10 +203,30 @@ func (n *NodeController) close() error {
 			first = err
 		}
 	}
+	// WALs close after every tree that logs to them: tree Close runs a
+	// final flush whose checkpoint still appends to the WAL.
+	for _, w := range n.wals {
+		if err := w.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
 	n.primaries = map[string]*storage.LSMTree{}
 	n.inverted = map[string]*invindex.Index{}
+	n.wals = map[string]*storage.WAL{}
 	n.maint.Close()
 	return first
+}
+
+// WALSegments returns the total live WAL segment-file count across the
+// node's partitions (metrics).
+func (n *NodeController) WALSegments() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	total := 0
+	for _, w := range n.wals {
+		total += w.SegmentCount()
+	}
+	return total
 }
 
 // CacheStats exposes the node's buffer-cache counters.

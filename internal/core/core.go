@@ -81,6 +81,13 @@ type Config struct {
 	// StallThreshold caps flush-pending immutable memtables per tree
 	// before writers stall awaiting maintenance (default 4).
 	StallThreshold int
+	// WALSyncMode selects ingestion crash durability: "commit" (default;
+	// InsertBatch acknowledges only after the write-ahead log is synced,
+	// with concurrent commits coalesced into one fsync), "interval"
+	// (background sync on a timer; a crash may lose the last few
+	// milliseconds of acknowledged writes), or "off" (no logging;
+	// unflushed memtables are lost on crash).
+	WALSyncMode string
 }
 
 // Database is an open SimDB instance.
@@ -136,6 +143,7 @@ func Open(cfg Config) (*Database, error) {
 		IngestQueueDepth:        cfg.IngestQueueDepth,
 		MaintenanceWorkers:      cfg.MaintenanceWorkers,
 		StallThreshold:          cfg.StallThreshold,
+		WALSyncMode:             cfg.WALSyncMode,
 	})
 	if err != nil {
 		return nil, err

@@ -84,6 +84,26 @@ func (ix *Index) Insert(tokens []string, pk PK) error {
 	return ix.tree.PutMulti(keys, nil)
 }
 
+// EntryKeys returns the deduplicated composite (token, pk) entry keys
+// Insert would write — the ingestion pipeline uses them to commit a
+// record's postings atomically with its primary row via
+// storage.CommitGroup.
+func (ix *Index) EntryKeys(tokens []string, pk PK) [][]byte {
+	keys := make([][]byte, 0, len(tokens))
+	seen := make(map[string]struct{}, len(tokens))
+	for _, tok := range tokens {
+		if _, dup := seen[tok]; dup {
+			continue
+		}
+		seen[tok] = struct{}{}
+		keys = append(keys, entryKey(tok, pk))
+	}
+	return keys
+}
+
+// Tree exposes the underlying LSM tree for cross-tree atomic commits.
+func (ix *Index) Tree() *storage.LSMTree { return ix.tree }
+
 // Remove deletes the (token, pk) entries for the given tokens.
 func (ix *Index) Remove(tokens []string, pk PK) error {
 	seen := make(map[string]struct{}, len(tokens))

@@ -5,7 +5,6 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
-	"os"
 	"sort"
 	"sync/atomic"
 
@@ -41,7 +40,8 @@ const (
 // ComponentWriter builds a component file. Add must be called with
 // strictly increasing keys.
 type ComponentWriter struct {
-	f        *os.File
+	fs       VFS
+	f        File
 	w        *bufio.Writer
 	path     string
 	pageSize int
@@ -65,11 +65,18 @@ type pageMeta struct {
 // NewComponentWriter creates the file at path (truncating any previous
 // content) and returns a writer with the given target page size.
 func NewComponentWriter(path string, pageSize int) (*ComponentWriter, error) {
-	f, err := os.Create(path)
+	return NewComponentWriterFS(OS, path, pageSize)
+}
+
+// NewComponentWriterFS is NewComponentWriter routed through an explicit
+// filesystem — crash-recovery tests inject a fault-injecting VFS here.
+func NewComponentWriterFS(fs VFS, path string, pageSize int) (*ComponentWriter, error) {
+	f, err := fs.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("storage: create component: %w", err)
 	}
 	return &ComponentWriter{
+		fs:       fs,
 		f:        f,
 		w:        bufio.NewWriterSize(f, 1<<16),
 		path:     path,
@@ -183,7 +190,7 @@ func (cw *ComponentWriter) Finish() error {
 // Abort closes and removes the partially written file.
 func (cw *ComponentWriter) Abort() {
 	cw.f.Close()
-	os.Remove(cw.path)
+	cw.fs.Remove(cw.path)
 }
 
 func uvarintSize(x uint64) int {
@@ -202,7 +209,8 @@ func uvarintSize(x uint64) int {
 // last reference drains, so long-running scans never observe a
 // component disappearing underneath them.
 type Component struct {
-	f      *os.File
+	fs     VFS
+	f      File
 	path   string
 	fileID uint64
 	cache  *BufferCache
@@ -211,10 +219,14 @@ type Component struct {
 	n      int64
 	size   int64
 
-	// seq is the rotation sequence the component's data derives from
-	// and gen its merge generation (0 = flushed/bulk-loaded); together
-	// they define recency order. Set by the owning tree at open/create.
-	seq, gen uint64
+	// seq is the rotation sequence the component's newest data derives
+	// from and gen its merge generation (0 = flushed/bulk-loaded);
+	// together they define recency order. lo is the oldest rotation
+	// sequence the component covers (== seq for flushed components;
+	// merge outputs cover [lo, seq]) — recovery uses the interval to
+	// decide which survivors a merged component supersedes. Set by the
+	// owning tree at open/create.
+	seq, gen, lo uint64
 
 	refs atomic.Int32 // starts at 1 (the opener's reference)
 	drop atomic.Bool  // delete the file when the last reference drains
@@ -222,7 +234,13 @@ type Component struct {
 
 // OpenComponent opens a component file for reading through cache.
 func OpenComponent(path string, cache *BufferCache) (*Component, error) {
-	f, err := os.Open(path)
+	return OpenComponentFS(OS, path, cache)
+}
+
+// OpenComponentFS is OpenComponent routed through an explicit
+// filesystem.
+func OpenComponentFS(fs VFS, path string, cache *BufferCache) (*Component, error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open component: %w", err)
 	}
@@ -278,6 +296,7 @@ func OpenComponent(path string, cache *BufferCache) (*Component, error) {
 		return nil, err
 	}
 	c := &Component{
+		fs:     fs,
 		f:      f,
 		path:   path,
 		fileID: NewFileID(),
@@ -296,6 +315,12 @@ func parsePageIndex(buf []byte) ([]pageMeta, error) {
 	if p <= 0 {
 		return nil, errCorrupt("page index count")
 	}
+	// Each entry takes ≥ 3 bytes; a count beyond that bound is corrupt,
+	// and catching it here also stops a huge count from driving a huge
+	// preallocation below.
+	if count > uint64(len(buf)) {
+		return nil, errCorrupt("page index count")
+	}
 	pages := make([]pageMeta, 0, count)
 	for i := uint64(0); i < count; i++ {
 		off, n := binary.Uvarint(buf[p:])
@@ -309,13 +334,16 @@ func parsePageIndex(buf []byte) ([]pageMeta, error) {
 		}
 		p += n
 		kl, n := binary.Uvarint(buf[p:])
-		if n <= 0 || uint64(len(buf)-p-n) < kl {
+		if n <= 0 || kl > uint64(len(buf)-p-n) {
 			return nil, errCorrupt("page first key")
 		}
 		p += n
 		key := make([]byte, kl)
 		copy(key, buf[p:p+int(kl)])
 		p += int(kl)
+		if off > uint64(1)<<62 || length > uint64(1)<<31 {
+			return nil, errCorrupt("page bounds")
+		}
 		pages = append(pages, pageMeta{off: int64(off), length: int32(length), firstKey: key})
 	}
 	return pages, nil
@@ -334,7 +362,7 @@ func (c *Component) release() error {
 	c.cache.Evict(c.fileID)
 	err := c.f.Close()
 	if c.drop.Load() {
-		if rerr := os.Remove(c.path); err == nil {
+		if rerr := c.fs.Remove(c.path); err == nil {
 			err = rerr
 		}
 	}
@@ -439,7 +467,9 @@ func (it *pageIter) next() bool {
 		return false
 	}
 	it.pos += n
-	if it.pos+int(kl) > len(it.page) {
+	// Compare in uint64: a huge corrupt length would wrap int(kl)
+	// negative and slip past an int-typed bounds check.
+	if kl > uint64(len(it.page)-it.pos) {
 		it.err = errCorrupt("entry key")
 		return false
 	}
@@ -451,7 +481,7 @@ func (it *pageIter) next() bool {
 		return false
 	}
 	it.pos += n
-	if it.pos+int(vl) > len(it.page) {
+	if vl > uint64(len(it.page)-it.pos) {
 		it.err = errCorrupt("entry value")
 		return false
 	}

@@ -1,0 +1,428 @@
+// Package errfs is an in-memory filesystem implementing storage.VFS
+// with deterministic fault injection, built for crash-recovery tests.
+//
+// Its durability model is the one crash consistency actually hinges
+// on: every file tracks how many of its bytes have been fsynced. A
+// simulated crash discards everything past that mark — unsynced
+// appends vanish, synced data survives — while metadata operations
+// (create, remove, rename, truncate) are durable immediately, like a
+// journalled filesystem's namespace ops.
+//
+// Every mutating operation is a labeled crash point: the label is
+// "<phase>/<kind>:<op>" (phase set by the test via SetPhase, kind
+// derived from the file extension — wal, cmp, or file). A Plan selects
+// one operation by its global index and a failure variant:
+//
+//   - Kill: the op does not happen; the process is "dead" from here on
+//     (every later op fails) until Reopen.
+//   - Torn: the op half-happens — a write persists only a prefix, a
+//     sync hardens only part of the pending bytes — then the process
+//     dies. This is the torn-tail case recovery must repair.
+//   - FailOp: the op fails with an injected I/O error but the process
+//     keeps running — the failed-fsync / failed-flush case, which must
+//     surface as a sticky error, not silent corruption.
+//
+// Reopen models process restart: the crashed flag clears and every
+// file drops its unsynced suffix.
+package errfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"simdb/internal/storage"
+)
+
+// ErrCrashed is returned by every operation after the planned crash
+// fired: the process is dead until Reopen.
+var ErrCrashed = errors.New("errfs: crashed")
+
+// ErrInjected is the transient I/O failure a FailOp plan injects.
+var ErrInjected = errors.New("errfs: injected I/O error")
+
+// Variant selects how the planned operation fails.
+type Variant int
+
+const (
+	// Kill drops the op and everything after it.
+	Kill Variant = iota
+	// Torn half-applies the op (short write / partial sync), then kills.
+	Torn
+	// FailOp fails the op with ErrInjected and keeps running.
+	FailOp
+)
+
+// Plan selects one operation (by global mutating-op index, as recorded
+// in Ops) to fail. CrashAtOp < 0 disables injection.
+type Plan struct {
+	CrashAtOp int
+	Variant   Variant
+}
+
+type file struct {
+	data   []byte
+	synced int // bytes guaranteed to survive a crash
+}
+
+// FS is the fault-injecting in-memory filesystem.
+type FS struct {
+	mu      sync.Mutex
+	files   map[string]*file
+	dirs    map[string]bool
+	phase   string
+	ops     []string // labels of mutating ops, in execution order
+	plan    Plan
+	crashed bool
+}
+
+// New returns an empty filesystem with injection disabled.
+func New() *FS {
+	return &FS{
+		files: make(map[string]*file),
+		dirs:  make(map[string]bool),
+		plan:  Plan{CrashAtOp: -1},
+	}
+}
+
+// SetPlan installs the failure plan. Call before the run (or between
+// phases); the op index counts all mutating ops since New.
+func (f *FS) SetPlan(p Plan) {
+	f.mu.Lock()
+	f.plan = p
+	f.mu.Unlock()
+}
+
+// SetPhase labels subsequent operations; tests set it between
+// synchronous steps so crash points read "flush/wal:sync" rather than
+// an opaque index.
+func (f *FS) SetPhase(s string) {
+	f.mu.Lock()
+	f.phase = s
+	f.mu.Unlock()
+}
+
+// Ops returns the labels of every mutating operation so far; index i
+// is the op a Plan{CrashAtOp: i} targets.
+func (f *FS) Ops() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.ops...)
+}
+
+// Crashed reports whether the planned crash has fired.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Reopen models a process restart after a crash: unsynced bytes are
+// lost, the crashed flag clears, and operations (still recorded, still
+// subject to the plan) work again.
+func (f *FS) Reopen() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed = false
+	for _, fl := range f.files {
+		fl.data = fl.data[:fl.synced]
+	}
+}
+
+func kindOf(name string) string {
+	switch {
+	case strings.HasSuffix(name, ".wal"):
+		return "wal"
+	case strings.HasSuffix(name, ".cmp"), strings.HasSuffix(name, ".cmp.tmp"):
+		return "cmp"
+	default:
+		return "file"
+	}
+}
+
+// step records one mutating op and applies the plan. It returns the
+// action the caller must take: proceed normally, half-apply then die
+// (torn=true), or fail with err.
+func (f *FS) step(op, name string) (torn bool, err error) {
+	if f.crashed {
+		return false, ErrCrashed
+	}
+	idx := len(f.ops)
+	f.ops = append(f.ops, f.phase+"/"+kindOf(name)+":"+op)
+	if idx != f.plan.CrashAtOp {
+		return false, nil
+	}
+	switch f.plan.Variant {
+	case Kill:
+		f.crashed = true
+		return false, ErrCrashed
+	case Torn:
+		f.crashed = true
+		return true, ErrCrashed
+	default: // FailOp
+		return false, fmt.Errorf("%w (%s %s)", ErrInjected, op, name)
+	}
+}
+
+func (f *FS) readable() error {
+	if f.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// Create creates (truncating) name. The new empty file is durable
+// immediately, like a namespace op on a journalled filesystem.
+func (f *FS) Create(name string) (storage.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if torn, err := f.step("create", name); err != nil && !torn {
+		return nil, err
+	} else if torn {
+		// A torn create leaves the file existing but empty — same as an
+		// untorn create followed by the crash.
+		f.files[name] = &file{}
+		return nil, err
+	}
+	f.files[name] = &file{}
+	return &handle{fs: f, name: name}, nil
+}
+
+// Open opens name for reading.
+func (f *FS) Open(name string) (storage.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.readable(); err != nil {
+		return nil, err
+	}
+	if _, ok := f.files[name]; !ok {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	return &handle{fs: f, name: name}, nil
+}
+
+// OpenAppend opens name for appending, creating it if absent.
+func (f *FS) OpenAppend(name string) (storage.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if torn, err := f.step("openappend", name); err != nil && !torn {
+		return nil, err
+	} else if torn {
+		if _, ok := f.files[name]; !ok {
+			f.files[name] = &file{}
+		}
+		return nil, err
+	}
+	if _, ok := f.files[name]; !ok {
+		f.files[name] = &file{}
+	}
+	return &handle{fs: f, name: name}, nil
+}
+
+// Remove deletes name, durably.
+func (f *FS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, err := f.step("remove", name); err != nil {
+		return err
+	}
+	if _, ok := f.files[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(f.files, name)
+	return nil
+}
+
+// RemoveAll deletes the tree rooted at name, durably.
+func (f *FS) RemoveAll(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, err := f.step("removeall", name); err != nil {
+		return err
+	}
+	prefix := strings.TrimSuffix(name, "/") + "/"
+	for p := range f.files {
+		if p == name || strings.HasPrefix(p, prefix) {
+			delete(f.files, p)
+		}
+	}
+	for d := range f.dirs {
+		if d == name || strings.HasPrefix(d, prefix) {
+			delete(f.dirs, d)
+		}
+	}
+	return nil
+}
+
+// Rename moves oldName to newName, durably and atomically.
+func (f *FS) Rename(oldName, newName string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, err := f.step("rename", oldName); err != nil {
+		return err
+	}
+	fl, ok := f.files[oldName]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldName, Err: fs.ErrNotExist}
+	}
+	delete(f.files, oldName)
+	f.files[newName] = fl
+	return nil
+}
+
+// Truncate cuts name to size, durably.
+func (f *FS) Truncate(name string, size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, err := f.step("truncate", name); err != nil {
+		return err
+	}
+	fl, ok := f.files[name]
+	if !ok {
+		return &fs.PathError{Op: "truncate", Path: name, Err: fs.ErrNotExist}
+	}
+	if int(size) < len(fl.data) {
+		fl.data = fl.data[:size]
+	}
+	if fl.synced > len(fl.data) {
+		fl.synced = len(fl.data)
+	}
+	return nil
+}
+
+// MkdirAll records the directory, durably.
+func (f *FS) MkdirAll(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, err := f.step("mkdir", name); err != nil {
+		return err
+	}
+	f.dirs[strings.TrimSuffix(name, "/")] = true
+	return nil
+}
+
+// ReadDir lists the base names of files directly under name, sorted.
+func (f *FS) ReadDir(name string) ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.readable(); err != nil {
+		return nil, err
+	}
+	prefix := strings.TrimSuffix(name, "/") + "/"
+	var out []string
+	for p := range f.files {
+		if strings.HasPrefix(p, prefix) && !strings.Contains(p[len(prefix):], "/") {
+			out = append(out, p[len(prefix):])
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// handle is an open file. Writes append to the shared file state (both
+// the component writer and the WAL write strictly sequentially).
+type handle struct {
+	fs   *FS
+	name string
+}
+
+func (h *handle) file() (*file, error) {
+	fl, ok := h.fs.files[h.name]
+	if !ok {
+		return nil, &fs.PathError{Op: "io", Path: h.name, Err: fs.ErrNotExist}
+	}
+	return fl, nil
+}
+
+func (h *handle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	torn, err := h.fs.step("write", h.name)
+	if err != nil && !torn {
+		return 0, err
+	}
+	fl, ferr := h.file()
+	if ferr != nil {
+		return 0, ferr
+	}
+	if torn {
+		// Short write: only a prefix of p reaches the file, then death.
+		n := len(p) / 2
+		fl.data = append(fl.data, p[:n]...)
+		return n, err
+	}
+	fl.data = append(fl.data, p...)
+	return len(p), nil
+}
+
+func (h *handle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	torn, err := h.fs.step("sync", h.name)
+	if err != nil && !torn {
+		return err
+	}
+	fl, ferr := h.file()
+	if ferr != nil {
+		return ferr
+	}
+	if torn {
+		// Partial writeback: half of the pending bytes harden, the rest
+		// are lost with the process.
+		fl.synced += (len(fl.data) - fl.synced) / 2
+		return err
+	}
+	fl.synced = len(fl.data)
+	return nil
+}
+
+func (h *handle) ReadAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.fs.readable(); err != nil {
+		return 0, err
+	}
+	fl, err := h.file()
+	if err != nil {
+		return 0, err
+	}
+	if off >= int64(len(fl.data)) {
+		return 0, fmt.Errorf("errfs: read at %d past end of %s: %w", off, h.name, fs.ErrInvalid)
+	}
+	n := copy(p, fl.data[off:])
+	if n < len(p) {
+		return n, fmt.Errorf("errfs: short read of %s", h.name)
+	}
+	return n, nil
+}
+
+func (h *handle) Close() error { return nil }
+
+func (h *handle) Stat() (fs.FileInfo, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.fs.readable(); err != nil {
+		return nil, err
+	}
+	fl, err := h.file()
+	if err != nil {
+		return nil, err
+	}
+	return fileInfo{name: h.name, size: int64(len(fl.data))}, nil
+}
+
+type fileInfo struct {
+	name string
+	size int64
+}
+
+func (fi fileInfo) Name() string       { return fi.name }
+func (fi fileInfo) Size() int64        { return fi.size }
+func (fi fileInfo) Mode() fs.FileMode  { return 0o644 }
+func (fi fileInfo) ModTime() time.Time { return time.Time{} }
+func (fi fileInfo) IsDir() bool        { return false }
+func (fi fileInfo) Sys() any           { return nil }

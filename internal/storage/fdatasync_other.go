@@ -1,0 +1,11 @@
+//go:build !linux
+
+package storage
+
+import "os"
+
+// fdatasync falls back to a full fsync on platforms without a
+// distinct data-only sync call.
+func fdatasync(f *os.File) error {
+	return f.Sync()
+}

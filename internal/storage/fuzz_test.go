@@ -1,0 +1,124 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// buildPage assembles a data page in the component writer's format:
+// uint16 entry count, then (uvarint klen, key, uvarint vlen, val) per
+// entry. Used only to seed the fuzzer with well-formed input.
+func buildPage(entries [][2]string) []byte {
+	var hdr [2]byte
+	binary.LittleEndian.PutUint16(hdr[:], uint16(len(entries)))
+	page := hdr[:]
+	for _, e := range entries {
+		page = binary.AppendUvarint(page, uint64(len(e[0])))
+		page = append(page, e[0]...)
+		page = binary.AppendUvarint(page, uint64(len(e[1])))
+		page = append(page, e[1]...)
+	}
+	return page
+}
+
+// buildIndex assembles a page index in the footer format: uvarint
+// count, then (uvarint off, uvarint length, uvarint klen, firstKey).
+func buildIndex(pages []pageMeta) []byte {
+	idx := binary.AppendUvarint(nil, uint64(len(pages)))
+	for _, p := range pages {
+		idx = binary.AppendUvarint(idx, uint64(p.off))
+		idx = binary.AppendUvarint(idx, uint64(p.length))
+		idx = binary.AppendUvarint(idx, uint64(len(p.firstKey)))
+		idx = append(idx, p.firstKey...)
+	}
+	return idx
+}
+
+// FuzzWALDecode feeds arbitrary bytes to the WAL record scanner and
+// payload decoder. Both must treat any malformation as end-of-prefix /
+// error — never panic, never over-allocate, never read past the
+// buffer. Corrupt and torn log tails are exactly arbitrary bytes.
+func FuzzWALDecode(f *testing.F) {
+	// Well-formed single commit record.
+	rec := appendWALFrame(nil, encodeCommit(1, []walOp{
+		{tree: "p", key: []byte("k1"), val: []byte("v1")},
+		{tree: "i:kw", key: []byte("tok#k1"), tombstone: true},
+	}))
+	f.Add(rec)
+	// Commit followed by a checkpoint, then a truncated third frame.
+	multi := appendWALFrame(rec, encodeCheckpoint(2, 1, "p"))
+	f.Add(multi)
+	f.Add(append(append([]byte(nil), multi...), multi[:11]...))
+	// CRC corruption in the middle of a valid stream.
+	bad := append([]byte(nil), multi...)
+	bad[len(bad)/2] ^= 0xFF
+	f.Add(bad)
+	// Pathological headers: zero length, huge length, empty payload.
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3, 4, 5})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var seen int
+		n := scanWALRecords(data, func(walRecord) { seen++ })
+		if n < 0 || n > int64(len(data)) {
+			t.Fatalf("prefix length %d out of range [0, %d]", n, len(data))
+		}
+		// The accepted prefix must rescan to the same boundary — the
+		// scanner is deterministic and prefix-closed (what recovery
+		// relies on when it truncates a torn tail and rescans).
+		if again := scanWALRecords(data[:n], nil); again != n {
+			t.Fatalf("rescan of accepted prefix: %d != %d", again, n)
+		}
+		// The raw payload decoder must also survive the input directly.
+		rec, err := decodeWALPayload(data)
+		if err == nil && rec.typ == walRecCommit {
+			for _, op := range rec.ops {
+				_ = op.tree
+			}
+		}
+	})
+}
+
+// FuzzComponentPage feeds arbitrary bytes to the on-disk component
+// readers: the footer page index parser and the data page iterator.
+// Both run over bytes read straight from disk, so bit rot must come
+// back as errCorrupt, never as a panic or a runaway allocation.
+func FuzzComponentPage(f *testing.F) {
+	f.Add(buildPage([][2]string{{"alpha", "1"}, {"beta", "2"}, {"gamma", ""}}))
+	f.Add(buildIndex([]pageMeta{
+		{off: 0, length: 64, firstKey: []byte("alpha")},
+		{off: 64, length: 32, firstKey: []byte("m")},
+	}))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF})                         // page: huge entry count, no entries
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}) // index: huge uvarint count
+	trunc := buildPage([][2]string{{"key", "value"}})
+	f.Add(trunc[:len(trunc)-3])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if pages, err := parsePageIndex(data); err == nil {
+			if uint64(len(pages)) > uint64(len(data)) {
+				t.Fatalf("parsed %d page entries from %d bytes", len(pages), len(data))
+			}
+			for i := 1; i < len(pages); i++ {
+				_ = bytes.Compare(pages[i-1].firstKey, pages[i].firstKey)
+			}
+		}
+		it := pageIter{page: data}
+		if err := it.init(); err != nil {
+			return
+		}
+		steps := 0
+		for it.next() {
+			if len(it.key)+len(it.val) > len(data) {
+				t.Fatalf("entry larger than page: k=%d v=%d page=%d", len(it.key), len(it.val), len(data))
+			}
+			steps++
+			if steps > len(data)+1 {
+				t.Fatalf("iterator did not terminate after %d steps", steps)
+			}
+		}
+	})
+}

@@ -19,7 +19,6 @@ import (
 	"bytes"
 	"context"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -45,6 +44,8 @@ var (
 	stallNs       = obs.H("storage.stall.ns")
 	pendingFlushG = obs.G("storage.maintenance.pending_flushes")
 	pendingMergeG = obs.G("storage.maintenance.pending_merges")
+	maintFailedG  = obs.G("storage.maintenance.failed")
+	quarantinedC  = obs.C("storage.recover.quarantined")
 )
 
 // LSMOptions configures an LSM tree.
@@ -73,6 +74,17 @@ type LSMOptions struct {
 	// reaches it, giving merges time to catch up (default
 	// 4*MaxComponents).
 	StallComponents int
+	// FS routes the tree's file operations; nil takes OS. Crash-
+	// recovery tests inject a fault-injecting filesystem here.
+	FS VFS
+	// WAL, when non-nil, write-ahead-logs every Put/Delete/PutMulti
+	// under the name WALTree: acknowledged writes survive a crash and
+	// are replayed into the memtable at open. One WAL is shared by a
+	// partition's primary tree and its index trees so CommitGroup can
+	// commit a row and its postings atomically. WALTree must be unique
+	// among the WAL's trees and stable across restarts.
+	WAL     *WAL
+	WALTree string
 }
 
 func (o *LSMOptions) withDefaults() LSMOptions {
@@ -98,15 +110,22 @@ func (o *LSMOptions) withDefaults() LSMOptions {
 	if out.StallComponents <= 0 {
 		out.StallComponents = 4 * out.MaxComponents
 	}
+	if out.FS == nil {
+		out.FS = OS
+	}
 	return out
 }
 
 // immMem is a rotated, immutable memtable awaiting flush. Its seq was
 // allocated at rotation time, so flush completions install components
-// in recency order no matter when the I/O finishes.
+// in recency order no matter when the I/O finishes. When the tree is
+// WAL-attached, minLSN/maxLSN bound the logged ops it holds: the flush
+// syncs the log through maxLSN before writing (log-ahead-of-data) and
+// checkpoints maxLSN after installing.
 type immMem struct {
-	mt  *memtable
-	seq uint64
+	mt             *memtable
+	seq            uint64
+	minLSN, maxLSN uint64
 }
 
 // LSMTree is a single partition's LSM B+-tree over byte keys and
@@ -116,8 +135,11 @@ type immMem struct {
 // shared lock and then proceed lock-free, so a slow scan never blocks
 // a concurrent Put, Flush, or Merge (see TreeSnapshot).
 type LSMTree struct {
-	dir  string
-	opts LSMOptions
+	dir     string
+	opts    LSMOptions
+	fs      VFS
+	wal     *WAL
+	walTree string
 
 	mu   sync.RWMutex
 	cond *sync.Cond // broadcast whenever maintenance makes progress
@@ -127,6 +149,13 @@ type LSMTree struct {
 	components []*Component // newest first
 	nextSeq    uint64
 	nextGen    uint64
+
+	// LSN bounds of logged ops in the active memtable (0 = none).
+	// Because appends and applies share the WAL's commitMu, ops enter
+	// memtables in LSN order and every rotation boundary is an LSN
+	// boundary — which is what lets a flush checkpoint "everything
+	// through maxLSN" truthfully.
+	memMinLSN, memMaxLSN uint64
 
 	closed         bool
 	lastErr        error // first background-maintenance failure; sticky
@@ -145,47 +174,80 @@ type LSMTree struct {
 
 // componentName renders a component file name: flushed (and
 // bulk-loaded) components are c<seq>.cmp; merged components are
-// c<seq>m<gen>.cmp, sequenced at their newest input so recency order
-// survives restart even when older rotations were still unflushed at
-// merge time.
-func componentName(seq, gen uint64) string {
+// c<seq>-<lo>m<gen>.cmp, sequenced at their newest input so recency
+// order survives restart, with <lo> recording the oldest rotation
+// sequence merged in. The range matters for crash recovery: a merge
+// output that reached disk supersedes exactly the leftover inputs
+// whose sequences its [lo, seq] interval contains — without it, a
+// tombstone-dropping merge that crashed before removing its inputs
+// would resurrect deleted keys on reopen.
+// componentTmpSuffix marks a component file still being written. Every
+// writer targets <name>.cmp.tmp and renames to the final name only
+// after Finish has synced the data, so a crash mid-flush or mid-merge
+// leaves a .tmp orphan (swept on the next open) rather than a torn
+// component at a live name.
+const componentTmpSuffix = ".tmp"
+
+func componentName(seq, lo, gen uint64) string {
 	if gen == 0 {
 		return fmt.Sprintf("c%d.cmp", seq)
+	}
+	if lo != seq {
+		return fmt.Sprintf("c%d-%dm%d.cmp", seq, lo, gen)
 	}
 	return fmt.Sprintf("c%dm%d.cmp", seq, gen)
 }
 
-// parseComponentName inverts componentName.
-func parseComponentName(name string) (seq, gen uint64, ok bool) {
+// parseComponentName inverts componentName. Names without a range
+// (flushed components, and merge outputs from before ranges existed)
+// parse with lo == seq.
+func parseComponentName(name string) (seq, lo, gen uint64, ok bool) {
 	if !strings.HasPrefix(name, "c") || !strings.HasSuffix(name, ".cmp") {
-		return 0, 0, false
+		return 0, 0, 0, false
 	}
 	body := name[1 : len(name)-4]
 	if i := strings.IndexByte(body, 'm'); i >= 0 {
 		g, err := strconv.ParseUint(body[i+1:], 10, 64)
 		if err != nil {
-			return 0, 0, false
+			return 0, 0, 0, false
 		}
 		gen = g
 		body = body[:i]
 	}
+	if i := strings.IndexByte(body, '-'); i >= 0 {
+		l, err := strconv.ParseUint(body[i+1:], 10, 64)
+		if err != nil || gen == 0 {
+			return 0, 0, 0, false
+		}
+		lo = l
+		body = body[:i]
+	}
 	s, err := strconv.ParseUint(body, 10, 64)
 	if err != nil {
-		return 0, 0, false
+		return 0, 0, 0, false
 	}
-	return s, gen, true
+	if lo == 0 || lo > s {
+		lo = s
+	}
+	return s, lo, gen, true
 }
 
 // OpenLSM opens (or creates) the LSM tree stored in dir. Existing
 // components are recovered in recency order: seq (rotation order)
-// first, then merge generation; a merged component supersedes a
-// same-seq leftover from before its merge.
+// first, then merge generation. Recovery after an unclean stop repairs
+// the directory rather than failing: a component whose [lo, seq] range
+// is contained in an already-accepted (newer) component's range is a
+// merge leftover and is deleted; a component that does not open —
+// a flush or merge output torn mid-write — is quarantined (renamed
+// *.bad) and its data recovered from the surviving inputs or the WAL.
+// When a WAL is attached, the tree's checkpointed-but-unflushed ops
+// replay into the memtable before the tree is returned.
 func OpenLSM(dir string, opts LSMOptions) (*LSMTree, error) {
 	o := opts.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := o.FS.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("storage: open lsm: %w", err)
 	}
-	t := &LSMTree{dir: dir, opts: o, mem: newMemtable(), nextSeq: 1, nextGen: 1}
+	t := &LSMTree{dir: dir, opts: o, fs: o.FS, mem: newMemtable(), nextSeq: 1, nextGen: 1}
 	t.cond = sync.NewCond(&t.mu)
 	if o.Maintenance != nil {
 		t.sched = o.Maintenance
@@ -193,21 +255,33 @@ func OpenLSM(dir string, opts LSMOptions) (*LSMTree, error) {
 		t.sched = NewScheduler(1)
 		t.ownSched = true
 	}
-	entries, err := os.ReadDir(dir)
+	names, err := o.FS.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
 	type seqPath struct {
-		seq, gen uint64
-		path     string
+		seq, lo, gen uint64
+		path         string
 	}
 	var found []seqPath
-	for _, e := range entries {
-		seq, gen, ok := parseComponentName(e.Name())
+	for _, name := range names {
+		if strings.HasSuffix(name, componentTmpSuffix) {
+			// A writer died between Create and the install rename.
+			o.FS.Remove(filepath.Join(dir, name))
+			continue
+		}
+		seq, lo, gen, ok := parseComponentName(name)
 		if !ok {
 			continue
 		}
-		found = append(found, seqPath{seq, gen, filepath.Join(dir, e.Name())})
+		found = append(found, seqPath{seq, lo, gen, filepath.Join(dir, name)})
+		// Never reuse a seen name, even a quarantined one's.
+		if seq >= t.nextSeq {
+			t.nextSeq = seq + 1
+		}
+		if gen >= t.nextGen {
+			t.nextGen = gen + 1
+		}
 	}
 	sort.Slice(found, func(i, j int) bool { // newest first
 		if found[i].seq != found[j].seq {
@@ -215,28 +289,99 @@ func OpenLSM(dir string, opts LSMOptions) (*LSMTree, error) {
 		}
 		return found[i].gen > found[j].gen
 	})
-	for i, sp := range found {
-		if i > 0 && sp.seq == found[i-1].seq {
-			// Superseded by a newer merge generation at the same seq
-			// (possible only after an unclean stop): drop the stale file.
-			os.Remove(sp.path)
+	type failedOpen struct {
+		sp  seqPath
+		err error
+	}
+	var failed []failedOpen
+	for _, sp := range found {
+		superseded := false
+		for _, acc := range t.components {
+			if sp.lo >= acc.lo && sp.seq <= acc.seq {
+				superseded = true
+				break
+			}
+		}
+		if superseded {
+			// A merge leftover: its whole range is covered by an accepted
+			// newer output (possible only after an unclean stop).
+			o.FS.Remove(sp.path)
 			continue
 		}
-		c, err := OpenComponent(sp.path, o.Cache)
+		c, err := OpenComponentFS(o.FS, sp.path, o.Cache)
 		if err != nil {
-			t.closeComponents()
-			return nil, fmt.Errorf("storage: recover %s: %w", sp.path, err)
+			failed = append(failed, failedOpen{sp, err})
+			continue
 		}
-		c.seq, c.gen = sp.seq, sp.gen
+		c.seq, c.gen, c.lo = sp.seq, sp.gen, sp.lo
 		t.components = append(t.components, c)
-		if sp.seq >= t.nextSeq {
-			t.nextSeq = sp.seq + 1
+	}
+	for _, f := range failed {
+		// A component that does not open is quarantined only when its
+		// data survives elsewhere: a torn merge output's rotation range
+		// is covered by its still-present inputs, and a torn flush
+		// output's ops are still in the WAL (they are checkpointed away
+		// only after a successful flush install). Anything else — e.g.
+		// bit rot of the sole copy — must surface, not silently vanish.
+		recoverable := t.rangeCoveredLocked(f.sp.lo, f.sp.seq)
+		if !recoverable && o.WAL != nil && o.WALTree != "" {
+			recoverable = o.WAL.PendingReplay(o.WALTree) > 0
 		}
-		if sp.gen >= t.nextGen {
-			t.nextGen = sp.gen + 1
+		if !recoverable {
+			t.closeComponents()
+			return nil, fmt.Errorf("storage: open lsm %s: component %s: %w",
+				dir, filepath.Base(f.sp.path), f.err)
+		}
+		if rerr := o.FS.Rename(f.sp.path, f.sp.path+".bad"); rerr != nil {
+			o.FS.Remove(f.sp.path)
+		}
+		quarantinedC.Inc()
+	}
+	if o.WAL != nil {
+		t.wal = o.WAL
+		t.walTree = o.WALTree
+		if t.walTree == "" {
+			t.closeComponents()
+			return nil, fmt.Errorf("storage: open lsm %s: WAL set without WALTree", dir)
+		}
+		for _, op := range o.WAL.Attach(t.walTree) {
+			if op.Tombstone {
+				t.mem.del(op.Key)
+			} else {
+				t.mem.put(op.Key, op.Val)
+			}
+			if t.memMinLSN == 0 {
+				t.memMinLSN = op.LSN
+			}
+			t.memMaxLSN = op.LSN
+		}
+		if t.mem.sizeBytes() >= o.MemBudgetBytes {
+			t.rotateLocked() // no concurrency yet; schedules a background flush
 		}
 	}
 	return t, nil
+}
+
+// rangeCoveredLocked reports whether every rotation seq in [lo, seq] is
+// covered by some accepted component's range.
+func (t *LSMTree) rangeCoveredLocked(lo, seq uint64) bool {
+	next := lo
+	for next <= seq {
+		advanced := false
+		for _, c := range t.components {
+			if c.lo <= next && next <= c.seq {
+				next = c.seq + 1
+				advanced = true
+				if next == 0 { // c.seq was MaxUint64
+					return true
+				}
+			}
+		}
+		if !advanced {
+			return false
+		}
+	}
+	return true
 }
 
 func (t *LSMTree) closeComponents() {
@@ -248,8 +393,16 @@ func (t *LSMTree) closeComponents() {
 
 // Close quiesces background maintenance, flushes every memtable
 // generation (rotated and active) so acknowledged writes are durable,
-// and closes all components. Idempotent.
+// and closes all components. Idempotent. A WAL-attached tree must be
+// closed before its WAL: the final flush checkpoints through the
+// still-open log.
 func (t *LSMTree) Close() error {
+	if t.wal != nil {
+		// Block in-flight CommitGroups: an op must not land in the
+		// memtable after the final flush below has drained it.
+		t.wal.commitMu.Lock()
+		defer t.wal.commitMu.Unlock()
+	}
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
@@ -276,15 +429,22 @@ func (t *LSMTree) Close() error {
 			if c, err = t.writeMemtable(im); err == nil {
 				t.components = append([]*Component{c}, t.components...)
 				t.imms = t.imms[:len(t.imms)-1]
+				if t.wal != nil && im.maxLSN > 0 {
+					t.wal.Checkpoint(t.walTree, im.maxLSN)
+				}
 			}
 		}
 		if err == nil && t.mem.len() > 0 {
-			im := &immMem{mt: t.mem, seq: t.nextSeq}
+			im := &immMem{mt: t.mem, seq: t.nextSeq, minLSN: t.memMinLSN, maxLSN: t.memMaxLSN}
 			t.nextSeq++
 			t.mem = newMemtable()
+			t.memMinLSN, t.memMaxLSN = 0, 0
 			var c *Component
 			if c, err = t.writeMemtable(im); err == nil {
 				t.components = append([]*Component{c}, t.components...)
+				if t.wal != nil && im.maxLSN > 0 {
+					t.wal.Checkpoint(t.walTree, im.maxLSN)
+				}
 			}
 		}
 	}
@@ -311,15 +471,12 @@ func (t *LSMTree) Delete(key []byte) error {
 }
 
 func (t *LSMTree) write(key, value []byte, tombstone bool) error {
+	if t.wal != nil {
+		return t.writeLogged([]walOp{{tree: t.walTree, key: key, val: value, tombstone: tombstone}})
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.closed {
-		return fmt.Errorf("storage: write to closed tree %s", t.dir)
-	}
-	if t.lastErr != nil {
-		return t.lastErr
-	}
-	if err := t.stallLocked(); err != nil {
+	if err := t.writableLocked(); err != nil {
 		return err
 	}
 	if tombstone {
@@ -333,6 +490,218 @@ func (t *LSMTree) write(key, value []byte, tombstone bool) error {
 	return nil
 }
 
+// writableLocked rejects writes to a closed or failed tree and applies
+// stall backpressure.
+func (t *LSMTree) writableLocked() error {
+	if t.closed {
+		return fmt.Errorf("storage: write to closed tree %s", t.dir)
+	}
+	if t.lastErr != nil {
+		return t.lastErr
+	}
+	return t.stallLocked()
+}
+
+// writeLogged is the write path for a WAL-attached tree: append the
+// commit record and apply it to the memtable while holding the WAL's
+// commitMu, so ops land in memtables in LSN order; then (commit mode)
+// wait for the group-commit fsync before acknowledging.
+func (t *LSMTree) writeLogged(ops []walOp) error {
+	w := t.wal
+	w.commitMu.Lock()
+	t.mu.Lock()
+	if err := t.writableLocked(); err != nil {
+		t.mu.Unlock()
+		w.commitMu.Unlock()
+		return err
+	}
+	lsn, err := w.appendOps(ops)
+	if err != nil {
+		t.mu.Unlock()
+		w.commitMu.Unlock()
+		return err
+	}
+	t.applyLoggedLocked(ops, lsn)
+	t.mu.Unlock()
+	w.commitMu.Unlock()
+	return w.WaitDurable(lsn)
+}
+
+// applyLoggedLocked lands already-logged ops in the memtable, tracking
+// the LSN bounds a later flush will sync and checkpoint. Caller holds
+// the WAL's commitMu and t.mu.
+func (t *LSMTree) applyLoggedLocked(ops []walOp, lsn uint64) {
+	for _, op := range ops {
+		if op.tombstone {
+			t.mem.del(op.key)
+		} else {
+			t.mem.put(op.key, op.val)
+		}
+	}
+	if t.memMinLSN == 0 {
+		t.memMinLSN = lsn
+	}
+	t.memMaxLSN = lsn
+	if t.mem.sizeBytes() >= t.opts.MemBudgetBytes {
+		t.rotateLocked()
+	}
+}
+
+// GroupWrite is one tree's write inside an atomic cross-tree commit.
+type GroupWrite struct {
+	Tree      *LSMTree
+	Key, Val  []byte
+	Tombstone bool
+}
+
+// CommitGroup logs one commit record spanning several trees attached
+// to the same WAL — a primary row and its secondary-index postings —
+// and applies it to their memtables. Recovery replays the record
+// entirely or not at all, so the trees stay mutually consistent across
+// a crash. It does not wait for durability: callers acknowledge after
+// WaitDurable on the returned LSN, letting a batch share one fsync.
+func CommitGroup(w *WAL, writes []GroupWrite) (uint64, error) {
+	if len(writes) == 0 {
+		return 0, nil
+	}
+	w.commitMu.Lock()
+	defer w.commitMu.Unlock()
+	ops := make([]walOp, len(writes))
+	for i, wr := range writes {
+		if wr.Tree.wal != w {
+			return 0, fmt.Errorf("storage: CommitGroup tree %s not attached to wal %s", wr.Tree.dir, w.dir)
+		}
+		ops[i] = walOp{tree: wr.Tree.walTree, key: wr.Key, val: wr.Val, tombstone: wr.Tombstone}
+	}
+	// Stall/validate every tree up front. Releasing a tree's lock after
+	// its stall clears is safe: all writers to these trees serialize on
+	// commitMu, so only flushes (which shrink, never grow) can touch
+	// them before we apply below.
+	for i, wr := range writes {
+		if i > 0 && wr.Tree == writes[i-1].Tree {
+			continue
+		}
+		wr.Tree.mu.Lock()
+		err := wr.Tree.writableLocked()
+		wr.Tree.mu.Unlock()
+		if err != nil {
+			return 0, err
+		}
+	}
+	lsn, err := w.appendOps(ops)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < len(writes); {
+		j := i
+		for j < len(writes) && writes[j].Tree == writes[i].Tree {
+			j++
+		}
+		tr := writes[i].Tree
+		tr.mu.Lock()
+		tr.applyLoggedLocked(ops[i:j], lsn)
+		tr.mu.Unlock()
+		i = j
+	}
+	return lsn, nil
+}
+
+// CommitGroups commits many independent atomic groups in one pass:
+// every group still gets its own commit record and LSN, so recovery
+// applies each all-or-nothing exactly as with CommitGroup, but LSN
+// assignment, the log append, and the syncer wakeup happen once for the
+// whole batch. Batched ingestion commits a chunk of records this way —
+// per-record CommitGroup calls dominate the group-commit overhead
+// otherwise. Returns one LSN per group, in order. Like CommitGroup it
+// does not wait for durability.
+func CommitGroups(w *WAL, groups [][]GroupWrite) ([]uint64, error) {
+	if len(groups) == 0 {
+		return nil, nil
+	}
+	w.commitMu.Lock()
+	defer w.commitMu.Unlock()
+	total := 0
+	for gi, writes := range groups {
+		if len(writes) == 0 {
+			return nil, fmt.Errorf("storage: CommitGroups: empty group %d", gi)
+		}
+		total += len(writes)
+	}
+	// One backing array for every group's ops: per-group slices would
+	// cost an allocation per record on the batched-ingest hot path.
+	opsBuf := make([]walOp, 0, total)
+	opGroups := make([][]walOp, len(groups))
+	for gi, writes := range groups {
+		start := len(opsBuf)
+		for _, wr := range writes {
+			if wr.Tree.wal != w {
+				return nil, fmt.Errorf("storage: CommitGroups tree %s not attached to wal %s", wr.Tree.dir, w.dir)
+			}
+			opsBuf = append(opsBuf, walOp{tree: wr.Tree.walTree, key: wr.Key, val: wr.Val, tombstone: wr.Tombstone})
+		}
+		opGroups[gi] = opsBuf[start:len(opsBuf):len(opsBuf)]
+	}
+	// Stall/validate every distinct tree up front (see CommitGroup for
+	// why dropping the lock between the check and the apply is safe).
+	var checked [4]*LSMTree // groups touch few distinct trees
+	seen := checked[:0]
+	for _, writes := range groups {
+		for _, wr := range writes {
+			dup := false
+			for _, tr := range seen {
+				if tr == wr.Tree {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			seen = append(seen, wr.Tree)
+			wr.Tree.mu.Lock()
+			err := wr.Tree.writableLocked()
+			wr.Tree.mu.Unlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	first, err := w.appendOpsBatch(opGroups)
+	if err != nil {
+		return nil, err
+	}
+	lsns := make([]uint64, len(groups))
+	// Apply with the tree lock held across consecutive runs of the same
+	// tree — for a chunk of single-tree groups this is one lock
+	// acquisition per chunk instead of one per record.
+	var cur *LSMTree
+	for gi, writes := range groups {
+		lsn := first + uint64(gi)
+		lsns[gi] = lsn
+		ops := opGroups[gi]
+		for i := 0; i < len(writes); {
+			j := i
+			for j < len(writes) && writes[j].Tree == writes[i].Tree {
+				j++
+			}
+			tr := writes[i].Tree
+			if tr != cur {
+				if cur != nil {
+					cur.mu.Unlock()
+				}
+				tr.mu.Lock()
+				cur = tr
+			}
+			tr.applyLoggedLocked(ops[i:j], lsn)
+			i = j
+		}
+	}
+	if cur != nil {
+		cur.mu.Unlock()
+	}
+	return lsns, nil
+}
+
 // PutMulti applies several puts under a single lock acquisition and
 // stall check — the batched-ingest fast path for secondary indexes,
 // where one record expands to many small (token, pk) entries. values
@@ -343,15 +712,19 @@ func (t *LSMTree) PutMulti(keys [][]byte, values [][]byte) error {
 	if len(keys) == 0 {
 		return nil
 	}
+	if t.wal != nil {
+		ops := make([]walOp, len(keys))
+		for i, k := range keys {
+			ops[i] = walOp{tree: t.walTree, key: k}
+			if values != nil {
+				ops[i].val = values[i]
+			}
+		}
+		return t.writeLogged(ops)
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.closed {
-		return fmt.Errorf("storage: write to closed tree %s", t.dir)
-	}
-	if t.lastErr != nil {
-		return t.lastErr
-	}
-	if err := t.stallLocked(); err != nil {
+	if err := t.writableLocked(); err != nil {
 		return err
 	}
 	for i, k := range keys {
@@ -406,9 +779,13 @@ func (t *LSMTree) rotateLocked() {
 	if t.mem.len() == 0 {
 		return
 	}
-	t.imms = append([]*immMem{{mt: t.mem, seq: t.nextSeq}}, t.imms...)
+	t.imms = append([]*immMem{{
+		mt: t.mem, seq: t.nextSeq,
+		minLSN: t.memMinLSN, maxLSN: t.memMaxLSN,
+	}}, t.imms...)
 	t.nextSeq++
 	t.mem = newMemtable()
+	t.memMinLSN, t.memMaxLSN = 0, 0
 	rotateCount.Inc()
 	pendingFlushG.Add(1)
 	t.scheduleFlushLocked()
@@ -456,7 +833,7 @@ func (t *LSMTree) flushTask() {
 
 		t.mu.Lock()
 		if err != nil {
-			t.lastErr = err
+			t.setErrLocked(err)
 			t.flushScheduled = false
 			t.cond.Broadcast()
 			t.mu.Unlock()
@@ -465,17 +842,41 @@ func (t *LSMTree) flushTask() {
 		t.components = append([]*Component{c}, t.components...)
 		t.imms = t.imms[:len(t.imms)-1]
 		pendingFlushG.Add(-1)
+		if t.wal != nil && im.maxLSN > 0 {
+			// The flushed prefix is on disk: the WAL may skip it at
+			// replay and retire segments wholly below it.
+			t.wal.Checkpoint(t.walTree, im.maxLSN)
+		}
 		t.cond.Broadcast()
 		t.mu.Unlock()
 	}
 }
 
+// setErrLocked records the first background-maintenance failure and
+// counts the transition in the storage.maintenance.failed gauge (the
+// number of trees wedged on a sticky error).
+func (t *LSMTree) setErrLocked(err error) {
+	if t.lastErr == nil && err != nil {
+		t.lastErr = err
+		maintFailedG.Add(1)
+	}
+}
+
 // writeMemtable writes one immutable memtable to a new disk component.
-// The memtable is frozen, so no lock is needed while writing.
+// The memtable is frozen, so no lock is needed while writing. For a
+// WAL-attached tree it first syncs the log through the memtable's max
+// LSN (log-ahead-of-data): a component must never hold ops whose WAL
+// record could be lost, or a crash would break the cross-tree
+// atomicity the shared log provides.
 func (t *LSMTree) writeMemtable(im *immMem) (*Component, error) {
 	start := time.Now()
-	path := filepath.Join(t.dir, componentName(im.seq, 0))
-	cw, err := NewComponentWriter(path, t.opts.PageSize)
+	if t.wal != nil && im.maxLSN > 0 {
+		if err := t.wal.SyncThrough(im.maxLSN); err != nil {
+			return nil, err
+		}
+	}
+	path := filepath.Join(t.dir, componentName(im.seq, im.seq, 0))
+	cw, err := NewComponentWriterFS(t.fs, path+componentTmpSuffix, t.opts.PageSize)
 	if err != nil {
 		return nil, err
 	}
@@ -488,11 +889,14 @@ func (t *LSMTree) writeMemtable(im *immMem) (*Component, error) {
 	if err := cw.Finish(); err != nil {
 		return nil, err
 	}
-	c, err := OpenComponent(path, t.opts.Cache)
+	if err := t.fs.Rename(path+componentTmpSuffix, path); err != nil {
+		return nil, err
+	}
+	c, err := OpenComponentFS(t.fs, path, t.opts.Cache)
 	if err != nil {
 		return nil, err
 	}
-	c.seq = im.seq
+	c.seq, c.lo = im.seq, im.seq
 	flushCount.Inc()
 	flushNs.Observe(time.Since(start).Nanoseconds())
 	flushBytes.Observe(c.SizeBytes())
@@ -601,9 +1005,7 @@ func (t *LSMTree) mergeTask() {
 	err := t.mergeComponents(inputs, drop, delay)
 
 	t.mu.Lock()
-	if err != nil && t.lastErr == nil {
-		t.lastErr = err
-	}
+	t.setErrLocked(err)
 	t.finishMergeLocked()
 	t.maybeScheduleMergeLocked() // policies may want another round
 	t.mu.Unlock()
@@ -625,13 +1027,14 @@ func (t *LSMTree) finishMergeLocked() {
 func (t *LSMTree) mergeComponents(inputs []*Component, drop bool, delay func()) error {
 	start := time.Now()
 	seq := inputs[0].seq
+	lo := inputs[len(inputs)-1].lo
 	t.mu.Lock()
 	gen := t.nextGen
 	t.nextGen++
 	t.mu.Unlock()
 
-	path := filepath.Join(t.dir, componentName(seq, gen))
-	cw, err := NewComponentWriter(path, t.opts.PageSize)
+	path := filepath.Join(t.dir, componentName(seq, lo, gen))
+	cw, err := NewComponentWriterFS(t.fs, path+componentTmpSuffix, t.opts.PageSize)
 	if err != nil {
 		return err
 	}
@@ -659,11 +1062,14 @@ func (t *LSMTree) mergeComponents(inputs []*Component, drop bool, delay func()) 
 	if err := cw.Finish(); err != nil {
 		return err
 	}
-	c, err := OpenComponent(path, t.opts.Cache)
+	if err := t.fs.Rename(path+componentTmpSuffix, path); err != nil {
+		return err
+	}
+	c, err := OpenComponentFS(t.fs, path, t.opts.Cache)
 	if err != nil {
 		return err
 	}
-	c.seq, c.gen = seq, gen
+	c.seq, c.gen, c.lo = seq, gen, lo
 
 	t.mu.Lock()
 	i := 0
@@ -727,9 +1133,7 @@ func (t *LSMTree) Merge() error {
 	err := t.mergeComponents(inputs, true, delay)
 
 	t.mu.Lock()
-	if err != nil && t.lastErr == nil {
-		t.lastErr = err
-	}
+	t.setErrLocked(err)
 	t.finishMergeLocked()
 	t.mu.Unlock()
 	return err
@@ -846,8 +1250,8 @@ func (t *LSMTree) BulkLoad(next func() (key, value []byte, ok bool, err error)) 
 	if t.mem.len() != 0 || len(t.imms) != 0 || len(t.components) != 0 {
 		return fmt.Errorf("storage: bulk load into non-empty tree")
 	}
-	path := filepath.Join(t.dir, componentName(t.nextSeq, 0))
-	cw, err := NewComponentWriter(path, t.opts.PageSize)
+	path := filepath.Join(t.dir, componentName(t.nextSeq, t.nextSeq, 0))
+	cw, err := NewComponentWriterFS(t.fs, path+componentTmpSuffix, t.opts.PageSize)
 	if err != nil {
 		return err
 	}
@@ -876,11 +1280,14 @@ func (t *LSMTree) BulkLoad(next func() (key, value []byte, ok bool, err error)) 
 	if err := cw.Finish(); err != nil {
 		return err
 	}
-	c, err := OpenComponent(path, t.opts.Cache)
+	if err := t.fs.Rename(path+componentTmpSuffix, path); err != nil {
+		return err
+	}
+	c, err := OpenComponentFS(t.fs, path, t.opts.Cache)
 	if err != nil {
 		return err
 	}
-	c.seq = t.nextSeq
+	c.seq, c.lo = t.nextSeq, t.nextSeq
 	t.components = []*Component{c}
 	t.nextSeq++
 	return nil

@@ -1,0 +1,78 @@
+package storage
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"sort"
+)
+
+// File is the handle surface storage needs from an open file: writes
+// are sequential (append-at-end for the writers that use them), reads
+// are positional, and Sync is the durability barrier the WAL and
+// component writers build their crash-consistency guarantees on.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	io.Closer
+	Sync() error
+	Stat() (fs.FileInfo, error)
+}
+
+// VFS is the seam between the storage layer and the filesystem: every
+// component, WAL segment, and recovery-time directory operation goes
+// through it. Production uses OS; crash-recovery tests substitute a
+// fault-injecting implementation (internal/storage/errfs) that models
+// exactly which bytes survive a crash — synced data persists, unsynced
+// data is lost, and the op stream can be cut or torn at any labeled
+// point.
+type VFS interface {
+	// Create creates (truncating) a file for writing.
+	Create(name string) (File, error)
+	// Open opens a file for reading.
+	Open(name string) (File, error)
+	// OpenAppend opens (creating if absent) a file whose writes append
+	// to the end — the WAL segment mode.
+	OpenAppend(name string) (File, error)
+	// Remove deletes a file.
+	Remove(name string) error
+	// RemoveAll deletes a directory tree.
+	RemoveAll(name string) error
+	// Rename atomically renames a file (quarantine of torn components).
+	Rename(oldName, newName string) error
+	// Truncate cuts a file to size (WAL tail repair after a torn write).
+	Truncate(name string, size int64) error
+	// MkdirAll creates a directory and its parents.
+	MkdirAll(name string) error
+	// ReadDir lists the file names in a directory, sorted.
+	ReadDir(name string) ([]string, error)
+}
+
+// OS is the production VFS backed by the real filesystem.
+var OS VFS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+func (osFS) Open(name string) (File, error)   { return os.Open(name) }
+func (osFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+func (osFS) Remove(name string) error               { return os.Remove(name) }
+func (osFS) RemoveAll(name string) error            { return os.RemoveAll(name) }
+func (osFS) Rename(oldName, newName string) error   { return os.Rename(oldName, newName) }
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+func (osFS) MkdirAll(name string) error             { return os.MkdirAll(name, 0o755) }
+
+func (osFS) ReadDir(name string) ([]string, error) {
+	entries, err := os.ReadDir(name)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
