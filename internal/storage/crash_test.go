@@ -357,6 +357,165 @@ func TestWALReplayIdempotent(t *testing.T) {
 	}
 }
 
+// corruptOnlyComponent finds the single .cmp file under dir and cuts
+// it in half, destroying the footer so it can no longer open.
+func corruptOnlyComponent(t *testing.T, fs *errfs.FS, dir string) string {
+	t.Helper()
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := ""
+	for _, name := range names {
+		if strings.HasSuffix(name, ".cmp") {
+			if path != "" {
+				t.Fatalf("more than one component in %s: %v", dir, names)
+			}
+			path = dir + "/" + name
+		}
+	}
+	if path == "" {
+		t.Fatalf("no component in %s: %v", dir, names)
+	}
+	h, err := fs.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := h.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+	if err := fs.Truncate(path, st.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// crashNow kills the simulated process at the next filesystem op and
+// resets the plan so post-restart operations run clean.
+func crashNow(fs *errfs.FS) {
+	fs.SetPlan(errfs.Plan{CrashAtOp: len(fs.Ops()), Variant: errfs.Kill})
+	fs.MkdirAll("crash-trigger") // any mutating op fires the plan
+	fs.SetPlan(errfs.Plan{CrashAtOp: -1})
+}
+
+// TestCorruptedUncheckpointedComponentQuarantined: a flushed component
+// whose checkpoint record died with the crash still has its full
+// contents in the log (the force-synced flush-begin proves it), so
+// corruption of that component is quarantined and the ops replay.
+func TestCorruptedUncheckpointedComponentQuarantined(t *testing.T) {
+	fs := errfs.New()
+	fs.SetPhase("run")
+	w, err := storage.OpenWAL("wal", storage.WALOptions{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := storage.OpenLSM("d", storage.LSMOptions{
+		FS: fs, WAL: w, WALTree: "p", MemBudgetBytes: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Put([]byte("k0"), []byte("v0")); err != nil {
+		t.Fatal(err)
+	}
+	// Flush installs the component and appends — but does not force-
+	// sync — its checkpoint record; the crash below loses it.
+	if err := tree.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	crashNow(fs)
+	tree.Close()
+	w.Close()
+	fs.Reopen()
+
+	fs.SetPhase("recover")
+	corruptOnlyComponent(t, fs, "d")
+	w2, err := storage.OpenWAL("wal", storage.WALOptions{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree2, err := storage.OpenLSM("d", storage.LSMOptions{
+		FS: fs, WAL: w2, WALTree: "p", MemBudgetBytes: 1 << 20,
+	})
+	if err != nil {
+		t.Fatalf("open with WAL-covered corrupt component: %v, want quarantine", err)
+	}
+	v, ok, err := tree2.Get([]byte("k0"))
+	if err != nil || !ok || string(v) != "v0" {
+		t.Fatalf("k0 after quarantine+replay: v=%q ok=%v err=%v", v, ok, err)
+	}
+	names, err := fs.ReadDir("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := false
+	for _, name := range names {
+		bad = bad || strings.HasSuffix(name, ".cmp.bad")
+	}
+	if !bad {
+		t.Fatalf("corrupt component not quarantined to .bad: %v", names)
+	}
+	if err := tree2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptedCheckpointedComponentSurfaces: once a component's
+// checkpoint record is durable its ops are gone from the log, so
+// corrupting the sole copy must fail the open — even while unrelated
+// un-checkpointed ops are pending replay (the condition that made the
+// old any-pending-replay quarantine gate silently drop data).
+func TestCorruptedCheckpointedComponentSurfaces(t *testing.T) {
+	fs := errfs.New()
+	fs.SetPhase("run")
+	w, err := storage.OpenWAL("wal", storage.WALOptions{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := storage.OpenLSM("d", storage.LSMOptions{
+		FS: fs, WAL: w, WALTree: "p", MemBudgetBytes: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Put([]byte("k0"), []byte("v0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// This durable commit's fsync also hardens the checkpoint record
+	// the flush appended just before it — and leaves k1 as pending
+	// replay across the crash.
+	if err := tree.Put([]byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	crashNow(fs)
+	tree.Close()
+	w.Close()
+	fs.Reopen()
+
+	fs.SetPhase("recover")
+	corruptOnlyComponent(t, fs, "d")
+	w2, err := storage.OpenWAL("wal", storage.WALOptions{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	tree2, err := storage.OpenLSM("d", storage.LSMOptions{
+		FS: fs, WAL: w2, WALTree: "p", MemBudgetBytes: 1 << 20,
+	})
+	if err == nil {
+		tree2.Close()
+		t.Fatal("open succeeded with a checkpointed component corrupted: sole-copy loss must surface")
+	}
+}
+
 // TestFlushFailureSticky covers the maintenance-failure surface: an
 // injected fsync failure during flush must surface through Flush and
 // Close, raise the storage.maintenance.failed gauge, and leave the

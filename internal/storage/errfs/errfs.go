@@ -2,16 +2,20 @@
 // with deterministic fault injection, built for crash-recovery tests.
 //
 // Its durability model is the one crash consistency actually hinges
-// on: every file tracks how many of its bytes have been fsynced. A
+// on: every file tracks how many of its bytes have been fsynced, and a
 // simulated crash discards everything past that mark — unsynced
-// appends vanish, synced data survives — while metadata operations
-// (create, remove, rename, truncate) are durable immediately, like a
-// journalled filesystem's namespace ops.
+// appends vanish, synced data survives. Namespace operations (create,
+// remove, rename) are likewise volatile until published: fsyncing a
+// file persists its data, not the directory entry naming it, so a
+// created or renamed file vanishes at the next crash — and a removed
+// one reappears — unless SyncDir ran on its directory afterwards.
+// Inode-level operations (truncate, RemoveAll teardown, mkdir) are
+// treated as durable immediately.
 //
 // Every mutating operation is a labeled crash point: the label is
 // "<phase>/<kind>:<op>" (phase set by the test via SetPhase, kind
-// derived from the file extension — wal, cmp, or file). A Plan selects
-// one operation by its global index and a failure variant:
+// derived from the file extension — wal, cmp, dir, or file). A Plan
+// selects one operation by its global index and a failure variant:
 //
 //   - Kill: the op does not happen; the process is "dead" from here on
 //     (every later op fails) until Reopen.
@@ -72,7 +76,8 @@ type file struct {
 // FS is the fault-injecting in-memory filesystem.
 type FS struct {
 	mu      sync.Mutex
-	files   map[string]*file
+	files   map[string]*file // current (volatile) namespace
+	durable map[string]*file // namespace as a crash would leave it
 	dirs    map[string]bool
 	phase   string
 	ops     []string // labels of mutating ops, in execution order
@@ -83,9 +88,10 @@ type FS struct {
 // New returns an empty filesystem with injection disabled.
 func New() *FS {
 	return &FS{
-		files: make(map[string]*file),
-		dirs:  make(map[string]bool),
-		plan:  Plan{CrashAtOp: -1},
+		files:   make(map[string]*file),
+		durable: make(map[string]*file),
+		dirs:    make(map[string]bool),
+		plan:    Plan{CrashAtOp: -1},
 	}
 }
 
@@ -121,20 +127,26 @@ func (f *FS) Crashed() bool {
 	return f.crashed
 }
 
-// Reopen models a process restart after a crash: unsynced bytes are
-// lost, the crashed flag clears, and operations (still recorded, still
-// subject to the plan) work again.
+// Reopen models a process restart after a crash: the namespace reverts
+// to the last dir-synced view (unpublished creates and renames vanish,
+// unpublished removes reappear), every surviving file drops its
+// unsynced suffix, the crashed flag clears, and operations (still
+// recorded, still subject to the plan) work again.
 func (f *FS) Reopen() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.crashed = false
-	for _, fl := range f.files {
+	f.files = make(map[string]*file, len(f.durable))
+	for p, fl := range f.durable {
 		fl.data = fl.data[:fl.synced]
+		f.files[p] = fl
 	}
 }
 
-func kindOf(name string) string {
+func (f *FS) kindOf(name string) string {
 	switch {
+	case f.dirs[strings.TrimSuffix(name, "/")]:
+		return "dir"
 	case strings.HasSuffix(name, ".wal"):
 		return "wal"
 	case strings.HasSuffix(name, ".cmp"), strings.HasSuffix(name, ".cmp.tmp"):
@@ -152,7 +164,7 @@ func (f *FS) step(op, name string) (torn bool, err error) {
 		return false, ErrCrashed
 	}
 	idx := len(f.ops)
-	f.ops = append(f.ops, f.phase+"/"+kindOf(name)+":"+op)
+	f.ops = append(f.ops, f.phase+"/"+f.kindOf(name)+":"+op)
 	if idx != f.plan.CrashAtOp {
 		return false, nil
 	}
@@ -175,16 +187,18 @@ func (f *FS) readable() error {
 	return nil
 }
 
-// Create creates (truncating) name. The new empty file is durable
-// immediately, like a namespace op on a journalled filesystem.
+// Create creates (truncating) name. The directory entry is volatile
+// until a SyncDir on the containing directory publishes it: a crash
+// before then loses the file entirely, synced data and all — the
+// orphaned-inode behavior crash-safe install protocols must survive.
 func (f *FS) Create(name string) (storage.File, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if torn, err := f.step("create", name); err != nil && !torn {
 		return nil, err
 	} else if torn {
-		// A torn create leaves the file existing but empty — same as an
-		// untorn create followed by the crash.
+		// A torn create leaves the (volatile) file existing but empty —
+		// same as an untorn create followed by the crash.
 		f.files[name] = &file{}
 		return nil, err
 	}
@@ -223,7 +237,8 @@ func (f *FS) OpenAppend(name string) (storage.File, error) {
 	return &handle{fs: f, name: name}, nil
 }
 
-// Remove deletes name, durably.
+// Remove deletes name from the volatile namespace; the entry
+// resurfaces at a crash unless a SyncDir published the removal.
 func (f *FS) Remove(name string) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -237,7 +252,10 @@ func (f *FS) Remove(name string) error {
 	return nil
 }
 
-// RemoveAll deletes the tree rooted at name, durably.
+// RemoveAll deletes the tree rooted at name, durably — it is a
+// teardown helper (dropping a dataset, sweeping temp dirs), not part
+// of any crash-ordering protocol, so it skips the volatile-namespace
+// model.
 func (f *FS) RemoveAll(name string) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -250,6 +268,11 @@ func (f *FS) RemoveAll(name string) error {
 			delete(f.files, p)
 		}
 	}
+	for p := range f.durable {
+		if p == name || strings.HasPrefix(p, prefix) {
+			delete(f.durable, p)
+		}
+	}
 	for d := range f.dirs {
 		if d == name || strings.HasPrefix(d, prefix) {
 			delete(f.dirs, d)
@@ -258,7 +281,8 @@ func (f *FS) RemoveAll(name string) error {
 	return nil
 }
 
-// Rename moves oldName to newName, durably and atomically.
+// Rename moves oldName to newName atomically in the volatile
+// namespace; a crash before a SyncDir publishes it reverts the move.
 func (f *FS) Rename(oldName, newName string) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -274,7 +298,8 @@ func (f *FS) Rename(oldName, newName string) error {
 	return nil
 }
 
-// Truncate cuts name to size, durably.
+// Truncate cuts name to size, durably (an inode op, not a namespace
+// op: it follows the file object wherever the namespace maps it).
 func (f *FS) Truncate(name string, size int64) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -321,6 +346,50 @@ func (f *FS) ReadDir(name string) ([]string, error) {
 	}
 	sort.Strings(out)
 	return out, nil
+}
+
+// SyncDir publishes the directory's entries to the durable namespace:
+// creates, renames, and removes under name performed since the last
+// SyncDir survive a crash from here on. A Torn dir sync publishes only
+// a (deterministic) prefix of the changed entries before dying — the
+// half-committed journal state recovery must tolerate.
+func (f *FS) SyncDir(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	torn, err := f.step("syncdir", name)
+	if err != nil && !torn {
+		return err
+	}
+	prefix := strings.TrimSuffix(name, "/") + "/"
+	under := func(p string) bool {
+		return strings.HasPrefix(p, prefix) && !strings.Contains(p[len(prefix):], "/")
+	}
+	changed := make([]string, 0, 8)
+	for p, fl := range f.files {
+		if under(p) && f.durable[p] != fl {
+			changed = append(changed, p)
+		}
+	}
+	for p := range f.durable {
+		if _, ok := f.files[p]; !ok && under(p) {
+			changed = append(changed, p)
+		}
+	}
+	sort.Strings(changed)
+	if torn {
+		changed = changed[:len(changed)/2]
+	}
+	for _, p := range changed {
+		if fl, ok := f.files[p]; ok {
+			f.durable[p] = fl
+		} else {
+			delete(f.durable, p)
+		}
+	}
+	if torn {
+		return err
+	}
+	return nil
 }
 
 // handle is an open file. Writes append to the shared file state (both

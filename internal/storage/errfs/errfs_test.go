@@ -1,0 +1,213 @@
+package errfs
+
+import (
+	"errors"
+	"io/fs"
+	"testing"
+)
+
+func write(t *testing.T, f *FS, name, data string, sync bool) {
+	t.Helper()
+	h, err := f.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte(data)); err != nil {
+		t.Fatal(err)
+	}
+	if sync {
+		if err := h.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func exists(f *FS, name string) bool {
+	h, err := f.Open(name)
+	if err != nil {
+		return false
+	}
+	h.Close()
+	return true
+}
+
+func TestCreateWithoutDirSyncVanishesAtCrash(t *testing.T) {
+	f := New()
+	if err := f.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	// File data fully fsynced, but the directory entry never published:
+	// a crash orphans the inode and the file is gone.
+	write(t, f, "d/a.file", "hello", true)
+	f.Reopen()
+	if exists(f, "d/a.file") {
+		t.Fatal("unpublished create survived the crash")
+	}
+}
+
+func TestCreateWithDirSyncSurvivesWithSyncedBytes(t *testing.T) {
+	f := New()
+	if err := f.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	h, err := f.Create("d/a.file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("hard")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	// Bytes appended after the sync are volatile even though the entry
+	// is durable.
+	if _, err := h.Write([]byte("soft")); err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+	f.Reopen()
+	h2, err := f.Open("d/a.file")
+	if err != nil {
+		t.Fatalf("published file lost: %v", err)
+	}
+	st, err := h2.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != int64(len("hard")) {
+		t.Fatalf("size after crash = %d, want %d (synced prefix only)", st.Size(), len("hard"))
+	}
+	h2.Close()
+}
+
+func TestRenameWithoutDirSyncRevertsAtCrash(t *testing.T) {
+	f := New()
+	if err := f.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	write(t, f, "d/x.tmp", "v", true)
+	if err := f.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Rename("d/x.tmp", "d/x.cmp"); err != nil {
+		t.Fatal(err)
+	}
+	f.Reopen()
+	if exists(f, "d/x.cmp") {
+		t.Fatal("unpublished rename survived the crash")
+	}
+	if !exists(f, "d/x.tmp") {
+		t.Fatal("rename source lost: crash should revert the move")
+	}
+
+	// The same rename followed by SyncDir is durable.
+	if err := f.Rename("d/x.tmp", "d/x.cmp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	f.Reopen()
+	if !exists(f, "d/x.cmp") || exists(f, "d/x.tmp") {
+		t.Fatal("published rename did not survive the crash")
+	}
+}
+
+func TestRemoveWithoutDirSyncReappearsAtCrash(t *testing.T) {
+	f := New()
+	if err := f.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	write(t, f, "d/a.file", "v", true)
+	if err := f.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Remove("d/a.file"); err != nil {
+		t.Fatal(err)
+	}
+	if exists(f, "d/a.file") {
+		t.Fatal("removed file still visible before crash")
+	}
+	f.Reopen()
+	if !exists(f, "d/a.file") {
+		t.Fatal("unpublished remove held across the crash")
+	}
+	if err := f.Remove("d/a.file"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	f.Reopen()
+	if exists(f, "d/a.file") {
+		t.Fatal("published remove did not survive the crash")
+	}
+}
+
+func TestTornDirSyncPublishesPrefix(t *testing.T) {
+	f := New()
+	if err := f.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	write(t, f, "d/a.file", "1", true)
+	write(t, f, "d/b.file", "2", true)
+	// The next mutating op (the SyncDir itself) tears: exactly half of
+	// the changed entries — sorted, so d/a.file — become durable.
+	f.SetPlan(Plan{CrashAtOp: len(f.Ops()), Variant: Torn})
+	if err := f.SyncDir("d"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("torn SyncDir error = %v, want ErrCrashed", err)
+	}
+	f.SetPlan(Plan{CrashAtOp: -1})
+	f.Reopen()
+	if !exists(f, "d/a.file") {
+		t.Fatal("torn dir sync lost the entry it should have published")
+	}
+	if exists(f, "d/b.file") {
+		t.Fatal("torn dir sync published more than the prefix")
+	}
+}
+
+func TestDirSyncLabelsKind(t *testing.T) {
+	f := New()
+	if err := f.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	f.SetPhase("install")
+	if err := f.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	ops := f.Ops()
+	want := "install/dir:syncdir"
+	if got := ops[len(ops)-1]; got != want {
+		t.Fatalf("dir sync label = %q, want %q", got, want)
+	}
+}
+
+func TestCrashedOpsFailUntilReopen(t *testing.T) {
+	f := New()
+	if err := f.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	f.SetPlan(Plan{CrashAtOp: len(f.Ops()), Variant: Kill})
+	if _, err := f.Create("d/a.file"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("create at crash point: %v, want ErrCrashed", err)
+	}
+	if err := f.SyncDir("d"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash SyncDir: %v, want ErrCrashed", err)
+	}
+	if _, err := f.Open("d/a.file"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash Open: %v, want ErrCrashed", err)
+	}
+	f.SetPlan(Plan{CrashAtOp: -1})
+	f.Reopen()
+	if _, err := f.Open("d/a.file"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("killed create left a file: %v, want fs.ErrNotExist", err)
+	}
+}

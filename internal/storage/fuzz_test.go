@@ -49,6 +49,8 @@ func FuzzWALDecode(f *testing.F) {
 	// Commit followed by a checkpoint, then a truncated third frame.
 	multi := appendWALFrame(rec, encodeCheckpoint(2, 1, "p"))
 	f.Add(multi)
+	// Flush-begin record (component seq 1 covering ops through LSN 2).
+	f.Add(appendWALFrame(rec, encodeFlushBegin(3, 1, 2, "p")))
 	f.Add(append(append([]byte(nil), multi...), multi[:11]...))
 	// CRC corruption in the middle of a valid stream.
 	bad := append([]byte(nil), multi...)

@@ -264,10 +264,12 @@ func OpenLSM(dir string, opts LSMOptions) (*LSMTree, error) {
 		path         string
 	}
 	var found []seqPath
+	dirty := false // namespace repairs pending a directory sync
 	for _, name := range names {
 		if strings.HasSuffix(name, componentTmpSuffix) {
 			// A writer died between Create and the install rename.
 			o.FS.Remove(filepath.Join(dir, name))
+			dirty = true
 			continue
 		}
 		seq, lo, gen, ok := parseComponentName(name)
@@ -306,6 +308,7 @@ func OpenLSM(dir string, opts LSMOptions) (*LSMTree, error) {
 			// A merge leftover: its whole range is covered by an accepted
 			// newer output (possible only after an unclean stop).
 			o.FS.Remove(sp.path)
+			dirty = true
 			continue
 		}
 		c, err := OpenComponentFS(o.FS, sp.path, o.Cache)
@@ -320,12 +323,16 @@ func OpenLSM(dir string, opts LSMOptions) (*LSMTree, error) {
 		// A component that does not open is quarantined only when its
 		// data survives elsewhere: a torn merge output's rotation range
 		// is covered by its still-present inputs, and a torn flush
-		// output's ops are still in the WAL (they are checkpointed away
-		// only after a successful flush install). Anything else — e.g.
-		// bit rot of the sole copy — must surface, not silently vanish.
+		// output's ops are still in the WAL. The latter is proven by the
+		// flush-begin record this component's flush logged: its maxLSN
+		// lies above the tree's durable checkpoint iff none of the
+		// component's ops were checkpointed away (checkpoints advance
+		// only after a successful install plus directory sync). Anything
+		// else — e.g. bit rot of a long-checkpointed sole copy — must
+		// surface, not silently vanish.
 		recoverable := t.rangeCoveredLocked(f.sp.lo, f.sp.seq)
 		if !recoverable && o.WAL != nil && o.WALTree != "" {
-			recoverable = o.WAL.PendingReplay(o.WALTree) > 0
+			recoverable = o.WAL.FlushCovered(o.WALTree, f.sp.seq)
 		}
 		if !recoverable {
 			t.closeComponents()
@@ -335,7 +342,14 @@ func OpenLSM(dir string, opts LSMOptions) (*LSMTree, error) {
 		if rerr := o.FS.Rename(f.sp.path, f.sp.path+".bad"); rerr != nil {
 			o.FS.Remove(f.sp.path)
 		}
+		dirty = true
 		quarantinedC.Inc()
+	}
+	if dirty {
+		if err := o.FS.SyncDir(dir); err != nil {
+			t.closeComponents()
+			return nil, fmt.Errorf("storage: open lsm %s: sync dir: %w", dir, err)
+		}
 	}
 	if o.WAL != nil {
 		t.wal = o.WAL
@@ -864,14 +878,23 @@ func (t *LSMTree) setErrLocked(err error) {
 
 // writeMemtable writes one immutable memtable to a new disk component.
 // The memtable is frozen, so no lock is needed while writing. For a
-// WAL-attached tree it first syncs the log through the memtable's max
-// LSN (log-ahead-of-data): a component must never hold ops whose WAL
-// record could be lost, or a crash would break the cross-tree
-// atomicity the shared log provides.
+// WAL-attached tree it first logs a flush-begin record and syncs the
+// log through it (log-ahead-of-data): a component must never hold ops
+// whose WAL record could be lost, or a crash would break the
+// cross-tree atomicity the shared log provides. The durable
+// flush-begin also binds this component's seq to its LSN range so
+// recovery can prove whether replay covers a torn install. The install
+// rename is followed by a directory sync — only then may the
+// checkpoint retire the flushed prefix, or a power loss could drop the
+// renamed entry after the checkpoint became durable.
 func (t *LSMTree) writeMemtable(im *immMem) (*Component, error) {
 	start := time.Now()
 	if t.wal != nil && im.maxLSN > 0 {
-		if err := t.wal.SyncThrough(im.maxLSN); err != nil {
+		fb, err := t.wal.FlushBegin(t.walTree, im.seq, im.maxLSN)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.wal.SyncThrough(fb); err != nil {
 			return nil, err
 		}
 	}
@@ -890,6 +913,9 @@ func (t *LSMTree) writeMemtable(im *immMem) (*Component, error) {
 		return nil, err
 	}
 	if err := t.fs.Rename(path+componentTmpSuffix, path); err != nil {
+		return nil, err
+	}
+	if err := t.fs.SyncDir(t.dir); err != nil {
 		return nil, err
 	}
 	c, err := OpenComponentFS(t.fs, path, t.opts.Cache)
@@ -1063,6 +1089,9 @@ func (t *LSMTree) mergeComponents(inputs []*Component, drop bool, delay func()) 
 		return err
 	}
 	if err := t.fs.Rename(path+componentTmpSuffix, path); err != nil {
+		return err
+	}
+	if err := t.fs.SyncDir(t.dir); err != nil {
 		return err
 	}
 	c, err := OpenComponentFS(t.fs, path, t.opts.Cache)
@@ -1281,6 +1310,9 @@ func (t *LSMTree) BulkLoad(next func() (key, value []byte, ok bool, err error)) 
 		return err
 	}
 	if err := t.fs.Rename(path+componentTmpSuffix, path); err != nil {
+		return err
+	}
+	if err := t.fs.SyncDir(t.dir); err != nil {
 		return err
 	}
 	c, err := OpenComponentFS(t.fs, path, t.opts.Cache)

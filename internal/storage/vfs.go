@@ -1,10 +1,12 @@
 package storage
 
 import (
+	"errors"
 	"io"
 	"io/fs"
 	"os"
 	"sort"
+	"syscall"
 )
 
 // File is the handle surface storage needs from an open file: writes
@@ -46,6 +48,12 @@ type VFS interface {
 	MkdirAll(name string) error
 	// ReadDir lists the file names in a directory, sorted.
 	ReadDir(name string) ([]string, error)
+	// SyncDir makes a directory's entries durable: on a real filesystem
+	// fsyncing a file persists its data but not necessarily the
+	// directory entry naming it, so every crash-safe install protocol
+	// (component rename, WAL segment creation) must sync the containing
+	// directory before declaring the result durable.
+	SyncDir(name string) error
 }
 
 // OS is the production VFS backed by the real filesystem.
@@ -75,4 +83,21 @@ func (osFS) ReadDir(name string) ([]string, error) {
 	}
 	sort.Strings(names)
 	return names, nil
+}
+
+func (osFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	// Filesystems that reject fsync on a directory handle journal
+	// namespace ops themselves; the error carries no information there.
+	if errors.Is(err, syscall.EINVAL) {
+		return nil
+	}
+	return err
 }

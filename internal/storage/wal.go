@@ -77,20 +77,29 @@ type WALOptions struct {
 //
 // and the payload is [type byte][uvarint lsn][body]:
 //
-//	commit (1):     uvarint nOps, then per op
-//	                uvarint len(tree), tree, flag byte (1 = tombstone),
-//	                uvarint len(key), key, uvarint len(val), val
-//	checkpoint (2): uvarint ckptLSN, uvarint len(tree), tree
+//	commit (1):      uvarint nOps, then per op
+//	                 uvarint len(tree), tree, flag byte (1 = tombstone),
+//	                 uvarint len(key), key, uvarint len(val), val
+//	checkpoint (2):  uvarint ckptLSN, uvarint len(tree), tree
+//	flush-begin (3): uvarint seq, uvarint maxLSN,
+//	                 uvarint len(tree), tree
 //
 // A commit record carries every tree's ops for one atomic group (a
 // primary row plus its secondary-index postings), so recovery replays
 // the group entirely or — if the record is torn — not at all. A
 // checkpoint record declares that tree's ops with lsn ≤ ckptLSN are in
-// durable components and need no replay. Checkpoints consume an LSN of
-// their own so segment boundaries stay strictly ordered.
+// durable components and need no replay. A flush-begin record, force-
+// synced before the component for (tree, seq) is written, declares
+// that the component's contents are the tree's ops through maxLSN — at
+// recovery it is the witness that lets a component which fails to open
+// be quarantined, but only while maxLSN still exceeds the tree's
+// durable checkpoint (see FlushCovered). Checkpoints and flush-begins
+// consume LSNs of their own so segment boundaries stay strictly
+// ordered.
 const (
 	walRecCommit     = 1
 	walRecCheckpoint = 2
+	walRecFlushBegin = 3
 
 	// maxWALPayload bounds a single record; anything larger in a frame
 	// header is treated as corruption/tear.
@@ -117,8 +126,9 @@ type walRecord struct {
 	typ     byte
 	lsn     uint64
 	ops     []walOp // commit
-	tree    string  // checkpoint
-	ckptLSN uint64  // checkpoint
+	tree    string  // checkpoint, flush-begin
+	ckptLSN uint64  // checkpoint boundary; flush-begin maxLSN
+	seq     uint64  // flush-begin component sequence
 }
 
 type walSegment struct {
@@ -167,9 +177,13 @@ type WAL struct {
 	syncErr     error  // sticky: the log is broken once a write/sync fails
 	closed      bool
 
-	lastAppended map[string]uint64     // per tree: highest LSN appended
+	lastAppended map[string]uint64     // per tree: highest commit LSN appended
 	ckpt         map[string]uint64     // per tree: replay-skip boundary
 	replay       map[string][]ReplayOp // recovered ops awaiting Attach
+	// flushed records, per tree, each flushed component's logged-op
+	// boundary (component seq → maxLSN), from flush-begin records.
+	// Consulted by FlushCovered at tree recovery.
+	flushed map[string]map[uint64]uint64
 
 	syncerDone chan struct{}
 	tickerDone chan struct{}
@@ -206,6 +220,7 @@ func OpenWAL(dir string, opts WALOptions) (*WAL, error) {
 		lastAppended: make(map[string]uint64),
 		ckpt:         make(map[string]uint64),
 		replay:       make(map[string][]ReplayOp),
+		flushed:      make(map[string]map[uint64]uint64),
 		syncerDone:   make(chan struct{}),
 	}
 	if w.fs == nil {
@@ -259,7 +274,8 @@ func (w *WAL) recover() error {
 	pending := make(map[string][]ReplayOp)
 	maxLSN := uint64(0)
 	torn := false
-	for i, seg := range segs {
+	var live []walSegment // segments still on disk after tail repair
+	for _, seg := range segs {
 		if torn {
 			// Everything after a tear is unreachable log: remove it so the
 			// next recovery sees the same clean prefix.
@@ -289,6 +305,13 @@ func (w *WAL) recover() error {
 				if w.ckpt[r.tree] < r.ckptLSN {
 					w.ckpt[r.tree] = r.ckptLSN
 				}
+			case walRecFlushBegin:
+				m := w.flushed[r.tree]
+				if m == nil {
+					m = make(map[uint64]uint64)
+					w.flushed[r.tree] = m
+				}
+				m[r.seq] = r.ckptLSN
 			}
 		})
 		if valid < int64(len(data)) {
@@ -297,9 +320,7 @@ func (w *WAL) recover() error {
 				return fmt.Errorf("storage: wal truncate %s: %w", seg.name, err)
 			}
 		}
-		if i < len(segs)-1 && !torn {
-			w.segs = append(w.segs, seg)
-		}
+		live = append(live, seg)
 	}
 
 	// Keep only ops newer than each tree's checkpoint.
@@ -317,27 +338,24 @@ func (w *WAL) recover() error {
 	}
 
 	w.nextLSN = maxLSN + 1
-	if len(segs) == 0 {
+	if len(live) == 0 {
 		w.curName = walSegmentName(w.nextLSN)
 		w.curStart = w.nextLSN
 	} else {
-		last := segs[len(segs)-1]
-		if torn {
-			// The tail segment may have been one of the removed ones; the
-			// surviving tail is the last segment whose start ≤ nextLSN.
-			for i := len(segs) - 1; i >= 0; i-- {
-				if segs[i].start <= w.nextLSN {
-					last = segs[i]
-					break
-				}
-			}
-			// Drop it from the sealed list if it landed there.
-			for i, s := range w.segs {
-				if s.name == last.name {
-					w.segs = append(w.segs[:i], w.segs[i+1:]...)
-					break
-				}
-			}
+		// The surviving tail is the last segment left on disk: every
+		// earlier one is sealed, everything after a tear was removed.
+		w.segs = append(w.segs, live[:len(live)-1]...)
+		last := live[len(live)-1]
+		// The LSN counter must never regress below a surviving segment's
+		// start. The tail can legally scan to zero records — a crash can
+		// catch a freshly rotated segment before any record in it was
+		// synced, after truncation already deleted the older segments —
+		// and deriving nextLSN from scanned records alone would then hand
+		// out LSNs below the segment's start, so a later rotation would
+		// create a lower-named segment and the next recovery would sort
+		// (and replay) the log out of true LSN order.
+		if w.nextLSN < last.start {
+			w.nextLSN = last.start
 		}
 		w.curName = last.name
 		w.curStart = last.start
@@ -350,6 +368,14 @@ func (w *WAL) recover() error {
 	if err != nil {
 		f.Close()
 		return err
+	}
+	// Publish recovery's namespace repairs — the created tail segment,
+	// post-tear removals — before any new record can be acknowledged:
+	// a crash must not resurrect removed segments (their LSNs are about
+	// to be reused) or orphan the tail's dir entry.
+	if err := w.fs.SyncDir(w.dir); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: wal sync dir: %w", err)
 	}
 	w.cur = f
 	w.curSize = st.Size()
@@ -479,6 +505,24 @@ func decodeWALPayload(p []byte) (walRecord, error) {
 			return r, errCorrupt("wal checkpoint tree")
 		}
 		r.tree = string(p[n:])
+	case walRecFlushBegin:
+		seq, n := binary.Uvarint(p)
+		if n <= 0 {
+			return r, errCorrupt("wal flush-begin seq")
+		}
+		p = p[n:]
+		r.seq = seq
+		mx, n := binary.Uvarint(p)
+		if n <= 0 {
+			return r, errCorrupt("wal flush-begin max lsn")
+		}
+		p = p[n:]
+		r.ckptLSN = mx
+		tl, n := binary.Uvarint(p)
+		if n <= 0 || tl != uint64(len(p)-n) {
+			return r, errCorrupt("wal flush-begin tree")
+		}
+		r.tree = string(p[n:])
 	default:
 		return r, errCorrupt("wal record type")
 	}
@@ -543,6 +587,17 @@ func encodeCheckpoint(lsn, ckptLSN uint64, tree string) []byte {
 	return p
 }
 
+func encodeFlushBegin(lsn, seq, maxLSN uint64, tree string) []byte {
+	p := make([]byte, 0, 32)
+	p = append(p, walRecFlushBegin)
+	p = binary.AppendUvarint(p, lsn)
+	p = binary.AppendUvarint(p, seq)
+	p = binary.AppendUvarint(p, maxLSN)
+	p = binary.AppendUvarint(p, uint64(len(tree)))
+	p = append(p, tree...)
+	return p
+}
+
 // Mode returns the configured sync mode.
 func (w *WAL) Mode() WALSyncMode { return w.mode }
 
@@ -557,14 +612,51 @@ func (w *WAL) Attach(treeID string) []ReplayOp {
 	return ops
 }
 
-// PendingReplay reports how many recovered ops await Attach for treeID.
-// Tree recovery consults it to decide whether a component that fails to
-// open can be quarantined (its ops still replay from the log) or must
-// surface as an error.
-func (w *WAL) PendingReplay(treeID string) int {
+// FlushBegin logs that treeID is about to flush the memtable
+// generation with component sequence seq, whose logged ops run through
+// maxLSN. The caller must SyncThrough the returned LSN before writing
+// the component: once durable, the record is the recovery-time witness
+// that the component's exact contents are still in the log (until its
+// checkpoint retires them) — see FlushCovered. Flush-begins do not
+// advance lastAppended, so a fully checkpointed tree never pins
+// segments just because its flush markers are newer than its data.
+func (w *WAL) FlushBegin(treeID string, seq, maxLSN uint64) (uint64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return len(w.replay[treeID])
+	if w.closed {
+		return 0, fmt.Errorf("storage: flush-begin on closed wal %s", w.dir)
+	}
+	if w.syncErr != nil {
+		return 0, w.syncErr
+	}
+	lsn := w.nextLSN
+	w.nextLSN++
+	w.pending = appendWALFrame(w.pending, encodeFlushBegin(lsn, seq, maxLSN, treeID))
+	w.pendingHi = lsn
+	m := w.flushed[treeID]
+	if m == nil {
+		m = make(map[uint64]uint64)
+		w.flushed[treeID] = m
+	}
+	m[seq] = maxLSN
+	w.work.Signal()
+	return lsn, nil
+}
+
+// FlushCovered reports whether the log still holds every op of the
+// component flushed as (treeID, seq): its flush-begin record was
+// recovered and the boundary it declares lies above the tree's durable
+// checkpoint, so the replay set contains the component's full
+// contents. Tree recovery consults it to decide whether a component
+// that fails to open can be quarantined (its ops replay from the log)
+// or must surface as an error — a long-checkpointed component's ops
+// are gone from the log, so merely having *some* pending replay would
+// not make dropping it safe.
+func (w *WAL) FlushCovered(treeID string, seq uint64) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	maxLSN, ok := w.flushed[treeID][seq]
+	return ok && maxLSN > w.ckpt[treeID]
 }
 
 // appendOps encodes one commit record covering ops, assigns its LSN,
@@ -884,6 +976,14 @@ func (w *WAL) rotateSegment(written, durable uint64) (uint64, error) {
 	newStart := written + 1
 	f, err := w.fs.OpenAppend(filepath.Join(w.dir, walSegmentName(newStart)))
 	if err != nil {
+		return durable, err
+	}
+	// Make the new segment's dir entry durable before any record lands
+	// in it — fsyncing the file alone would not stop a crash from
+	// dropping the entry (and the acknowledged records inside) on a real
+	// filesystem. This also publishes any pending truncation removals.
+	if err := w.fs.SyncDir(w.dir); err != nil {
+		f.Close()
 		return durable, err
 	}
 	if written > durable {

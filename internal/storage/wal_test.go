@@ -366,6 +366,67 @@ func TestWALCheckpointRecordSurvivesTruncation(t *testing.T) {
 	}
 }
 
+func TestWALRecoverLSNFloorEmptySegment(t *testing.T) {
+	// Checkpoint truncation deletes fully-covered segments immediately,
+	// while the checkpoint record itself is not force-synced — so a
+	// crash can leave a single freshly rotated segment with no synced
+	// record in it. Recovery must not let the LSN counter regress below
+	// that segment's start, or later rotations would mint lower-named
+	// segments and the next recovery would replay out of LSN order.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, walSegmentName(100)), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w := openTestWAL(t, dir, WALOptions{})
+	lsn := commitOne(t, w, "p", "k", "v")
+	if lsn != 100 {
+		t.Fatalf("first LSN after empty-segment recovery = %d, want 100", lsn)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2 := openTestWAL(t, dir, WALOptions{})
+	defer w2.Close()
+	ops := w2.Attach("p")
+	if len(ops) != 1 || ops[0].LSN != 100 {
+		t.Fatalf("replay after reopen: %+v, want one op at LSN 100", ops)
+	}
+}
+
+func TestWALRecoverTornTailDoesNotResurrectRemovedSegments(t *testing.T) {
+	// A tear in an early segment makes every later segment unreachable
+	// log; recovery removes them and continues appending in the torn
+	// segment itself. The tail must be the surviving segment — not a
+	// silently recreated copy of a removed one — and the LSN floor is
+	// that segment's start.
+	dir := t.TempDir()
+	// All-garbage segment at start 50: a zero frame header is a tear at
+	// offset 0, so its entire contents are discarded.
+	if err := os.WriteFile(filepath.Join(dir, walSegmentName(50)), make([]byte, 16), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, walSegmentName(100)), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w := openTestWAL(t, dir, WALOptions{})
+	lsn := commitOne(t, w, "p", "k", "v")
+	if lsn != 50 {
+		t.Fatalf("first LSN = %d, want 50 (the torn tail's start)", lsn)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, walSegmentName(100))); !os.IsNotExist(err) {
+		t.Errorf("removed segment resurrected (stat err = %v)", err)
+	}
+	w2 := openTestWAL(t, dir, WALOptions{})
+	defer w2.Close()
+	ops := w2.Attach("p")
+	if len(ops) != 1 || ops[0].LSN != 50 {
+		t.Fatalf("replay: %+v, want one op at LSN 50", ops)
+	}
+}
+
 func TestLSMWALRecoversUnflushedWrites(t *testing.T) {
 	// End-to-end through the tree API on the real filesystem: writes
 	// that never flushed reappear after reopen via WAL replay. The tree
