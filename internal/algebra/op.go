@@ -130,8 +130,20 @@ type Op struct {
 	PKVar     Var
 	RecVar    Var
 
+	// ProjectFields, on OpScan, is the projection-pushdown result: the
+	// set of top-level record fields the rest of the plan reads from
+	// RecVar. Nil means unknown or opaque (scan everything); a non-nil
+	// slice — possibly empty — lets the scan decode only those fields
+	// and, on columnar components, skip unreferenced column blocks.
+	ProjectFields []string
+
 	// OpSelect / OpJoin
 	Cond Expr
+	// BatchVerify, on OpSelect, marks a condition carrying a similarity
+	// conjunct with a constant query side. Job generation lowers such
+	// selects to the vectorized verify operator, which tokenizes the
+	// query once per instance and checks candidates in batches.
+	BatchVerify bool
 
 	// OpJoin physical choice
 	Phys      JoinPhys
@@ -373,6 +385,11 @@ func Copy(root *Op, alloc *VarAlloc) (*Op, map[Var]Var) {
 		}
 		c := &Op{}
 		*c = *o
+		if o.ProjectFields != nil {
+			// Preserve non-nilness: an empty non-nil slice means "no
+			// record fields needed", which nil does not.
+			c.ProjectFields = append(make([]string, 0, len(o.ProjectFields)), o.ProjectFields...)
+		}
 		c.Inputs = make([]*Op, len(o.Inputs))
 		for i, in := range o.Inputs {
 			c.Inputs[i] = rec(in)
@@ -493,11 +510,18 @@ func Print(root *Op) string {
 func opDetail(o *Op) string {
 	switch o.Kind {
 	case OpScan:
-		return fmt.Sprintf(" %s.%s -> pk:%v rec:%v", o.Dataverse, o.Dataset, o.PKVar, o.RecVar)
+		d := fmt.Sprintf(" %s.%s -> pk:%v rec:%v", o.Dataverse, o.Dataset, o.PKVar, o.RecVar)
+		if o.ProjectFields != nil {
+			d += fmt.Sprintf(" project:[%s]", strings.Join(o.ProjectFields, ", "))
+		}
+		return d
 	case OpSelect, OpJoin:
 		d := fmt.Sprintf(" (%s)", o.Cond)
 		if o.Kind == OpJoin && o.Phys != JoinPhysUnset {
 			d += fmt.Sprintf(" [phys=%d build=%d]", o.Phys, o.BuildSide)
+		}
+		if o.Kind == OpSelect && o.BatchVerify {
+			d += " [batched]"
 		}
 		return d
 	case OpAssign:

@@ -2,6 +2,9 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -80,5 +83,34 @@ func TestRunUnknown(t *testing.T) {
 	e := tinyEnv(t)
 	if err := e.Run("nope"); err == nil {
 		t.Error("unknown experiment should error")
+	}
+}
+
+// TestScanBench smoke-runs the scan sweep at test scale. It checks the
+// report exists and that every cell agreed on the row count (ScanBench
+// itself fails on disagreement); speedups are not asserted here — the
+// tiny scale and test-machine noise make them meaningless.
+func TestScanBench(t *testing.T) {
+	e := tinyEnv(t)
+	e.ReportDir = t.TempDir()
+	if err := e.ScanBench(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(e.ReportDir, "BENCH_scan.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report ScanReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Cells) != 5 {
+		t.Fatalf("report has %d cells, want 5", len(report.Cells))
+	}
+	if report.Cells[0].Rows == 0 {
+		t.Error("scan query matched no rows; the sweep measured nothing")
+	}
+	if !strings.Contains(output(e), "speedup") {
+		t.Errorf("missing speedup summary:\n%s", output(e))
 	}
 }

@@ -35,6 +35,7 @@ func (e *Env) Run(name string) error {
 		{"concurrency", e.Concurrency},
 		{"spill", e.SpillSweep},
 		{"ingest", e.IngestBench},
+		{"scan", e.ScanBench},
 	}
 	if name == "all" {
 		for _, x := range exps {

@@ -2,11 +2,14 @@ package cluster
 
 import (
 	"fmt"
+	"strings"
 	"sync/atomic"
 
 	"simdb/internal/adm"
 	"simdb/internal/algebra"
 	"simdb/internal/hyracks"
+	"simdb/internal/optimizer"
+	"simdb/internal/sim"
 )
 
 // QueryCounters collects similarity-specific work metrics during one
@@ -222,12 +225,37 @@ func (g *jobGen) genScan(op *algebra.Op) (*genOut, error) {
 		return nil, fmt.Errorf("jobgen: unknown dataset %s.%s", dv, ds)
 	}
 	pkField := meta.PKField
+	fields := scanFields(op.ProjectFields, pkField)
 	c := g.c
 	node := g.job.Add("DataScan("+ds+")", g.parts, hyracks.SourceFunc(
 		func(ctx *hyracks.TaskCtx, emit func(hyracks.Tuple)) error {
-			return c.scanPartition(ctx.Ctx, dv, ds, pkField, ctx.Part, emit)
+			return c.scanPartition(ctx.Ctx, dv, ds, pkField, fields, ctx.Part, emit)
 		}))
 	return &genOut{node: node, schema: []algebra.Var{op.PKVar, op.RecVar}, parts: g.parts}, nil
+}
+
+// scanFields turns a scan's projection annotation into the field list
+// the storage layer needs: the referenced top-level fields plus the
+// primary key's top-level field (the scan always extracts the pk from
+// the record). Nil stays nil — scan everything.
+func scanFields(project []string, pkField string) []string {
+	if project == nil {
+		return nil
+	}
+	pk := pkField
+	if i := strings.IndexByte(pk, '.'); i >= 0 {
+		pk = pk[:i]
+	}
+	out := append(append(make([]string, 0, len(project)+1), project...), pk)
+	seen := make(map[string]bool, len(out))
+	dedup := out[:0]
+	for _, f := range out {
+		if !seen[f] {
+			seen[f] = true
+			dedup = append(dedup, f)
+		}
+	}
+	return dedup
 }
 
 func (g *jobGen) genSelect(op *algebra.Op) (*genOut, error) {
@@ -247,6 +275,13 @@ func (g *jobGen) genSelect(op *algebra.Op) (*genOut, error) {
 	if verifier {
 		name = "Select(verify)"
 	}
+	if op.BatchVerify {
+		if fn, ok := batchedVerifyOp(cond, cols, verifier, counters); ok {
+			node := g.job.Add(name+"[batched]", in.parts, fn,
+				g.inputFrom(in, hyracks.ConnectorSpec{Type: hyracks.OneToOne}))
+			return &genOut{node: node, schema: in.schema, parts: in.parts, sortCols: in.sortCols}, nil
+		}
+	}
 	node := g.job.Add(name, in.parts, hyracks.FlatMap(
 		func(ctx *hyracks.TaskCtx, t hyracks.Tuple, emit func(hyracks.Tuple)) error {
 			v, err := algebra.Eval(cond, algebra.NewEnv(cols, t))
@@ -262,6 +297,96 @@ func (g *jobGen) genSelect(op *algebra.Op) (*genOut, error) {
 			return nil
 		}), g.inputFrom(in, hyracks.ConnectorSpec{Type: hyracks.OneToOne}))
 	return &genOut{node: node, schema: in.schema, parts: in.parts, sortCols: in.sortCols}, nil
+}
+
+// batchedVerifyOp lowers a BatchVerify-marked select condition to a
+// vectorized operator: the Jaccard conjunct's constant query side is
+// tokenized once here at job-generation time, each operator instance
+// gets its own JaccardChecker (the count map is mutable scratch), and
+// candidates are checked a frame at a time with the length filter and
+// early termination of similarity-jaccard-check. Remaining conjuncts
+// evaluate per survivor. Returns ok=false when the condition does not
+// decompose after all — the caller falls back to the per-tuple select,
+// which is always semantically equivalent.
+func batchedVerifyOp(cond algebra.Expr, cols map[algebra.Var]int, verifier bool, counters *QueryCounters) (func() hyracks.Operator, bool) {
+	conjs := algebra.Conjuncts(cond)
+	simIdx := -1
+	var sc optimizer.SimConjunct
+	for i, conj := range conjs {
+		c, ok := optimizer.ParseSimConjunct(conj)
+		if !ok || c.Fn != "jaccard" {
+			continue
+		}
+		lConst := len(algebra.UsedVars(c.Left, nil)) == 0
+		rConst := len(algebra.UsedVars(c.Right, nil)) == 0
+		if lConst == rConst {
+			continue
+		}
+		if !lConst {
+			c.Left, c.Right = c.Right, c.Left
+		}
+		simIdx, sc = i, c
+		break
+	}
+	if simIdx < 0 {
+		return nil, false
+	}
+	qv, err := algebra.Eval(sc.Left, algebra.NewEnv(nil, nil))
+	if err != nil {
+		return nil, false
+	}
+	queryToks, ok := algebra.TokensOf(qv)
+	if !ok {
+		return nil, false
+	}
+	candExpr, delta := sc.Right, sc.Threshold
+	var rest algebra.Expr
+	if len(conjs) > 1 {
+		others := make([]algebra.Expr, 0, len(conjs)-1)
+		others = append(others, conjs[:simIdx]...)
+		others = append(others, conjs[simIdx+1:]...)
+		rest = algebra.AndAll(others)
+	}
+	return hyracks.FlatMapBatch(
+		func() *sim.JaccardChecker { return sim.NewJaccardChecker(queryToks) },
+		func(ctx *hyracks.TaskCtx, checker *sim.JaccardChecker, batch []hyracks.Tuple, emit func(hyracks.Tuple)) error {
+			for _, t := range batch {
+				env := algebra.NewEnv(cols, t)
+				cv, err := algebra.Eval(candExpr, env)
+				if err != nil {
+					return err
+				}
+				if toks, ok := algebra.TokensOf(cv); ok {
+					if _, pass := checker.Check(toks, delta); !pass {
+						continue
+					}
+				} else {
+					// Null or non-list candidate: defer to the original
+					// conjunct so edge-case semantics stay identical.
+					v, err := algebra.Eval(sc.Orig, env)
+					if err != nil {
+						return err
+					}
+					if !algebra.Truthy(v) {
+						continue
+					}
+				}
+				if rest != nil {
+					v, err := algebra.Eval(rest, env)
+					if err != nil {
+						return err
+					}
+					if !algebra.Truthy(v) {
+						continue
+					}
+				}
+				if verifier {
+					counters.VerifiedTotal.Add(1)
+				}
+				emit(t)
+			}
+			return nil
+		}), true
 }
 
 func (g *jobGen) genAssign(op *algebra.Op) (*genOut, error) {

@@ -455,18 +455,39 @@ func (g *jobGen) genPrimaryLookup(op *algebra.Op) (*genOut, error) {
 // scanPartition streams one partition of a dataset as (pk, record)
 // tuples. The scan reads a refcounted LSM snapshot (never blocking
 // concurrent writers) and honors ctx cancellation between batches.
-func (c *Cluster) scanPartition(ctx context.Context, dv, ds, pkField string, part int, emit func(hyracks.Tuple)) error {
+// A non-nil fields list restricts the scan to those top-level record
+// fields: columnar components read only the matching column blocks,
+// and row components skip decoding the unreferenced fields. The
+// emitted records then carry just the projected fields, which is
+// only correct because the optimizer proved no other field is used.
+func (c *Cluster) scanPartition(ctx context.Context, dv, ds, pkField string, fields []string, part int, emit func(hyracks.Tuple)) error {
 	node := c.nodeOfPartition(part)
 	tree, err := node.primary(dv, ds, part)
 	if err != nil {
 		return err
 	}
+	var keep map[string]bool
+	if fields != nil {
+		keep = make(map[string]bool, len(fields))
+		for _, f := range fields {
+			keep[f] = true
+		}
+	}
 	var scanErr error
-	err = tree.ScanContext(ctx, nil, nil, func(key, val []byte) bool {
-		rec, _, derr := adm.Decode(val)
-		if derr != nil {
-			scanErr = derr
-			return false
+	err = tree.ScanProjectedContext(ctx, nil, nil, fields, func(key, val []byte) bool {
+		var rec adm.Value
+		if keep != nil {
+			if r, ok := adm.DecodeRecordProjected(val, keep); ok {
+				rec = r
+			}
+		}
+		if rec.Kind() != adm.KindRecord {
+			r, _, derr := adm.Decode(val)
+			if derr != nil {
+				scanErr = derr
+				return false
+			}
+			rec = r
 		}
 		pk, _ := rec.Rec().GetPath(pkField)
 		emit(hyracks.Tuple{pk, rec})

@@ -128,6 +128,7 @@ func (n *NodeController) primary(dv, ds string, part int) (*storage.LSMTree, err
 	dir := filepath.Join(n.dir, sanitize(dv), sanitize(ds), fmt.Sprintf("p%d", part))
 	opts := n.lsmOptions()
 	opts.WAL, opts.WALTree = wal, "p"
+	opts.Columnar = n.cfg.StorageFormat == "columnar"
 	t, err := storage.OpenLSM(dir, opts)
 	if err != nil {
 		return nil, err

@@ -88,6 +88,10 @@ type Config struct {
 	// milliseconds of acknowledged writes), or "off" (no logging;
 	// unflushed memtables are lost on crash).
 	WALSyncMode string
+	// StorageFormat selects the primary-index component layout:
+	// "columnar" (default) or "row". Reading is version-agnostic, so
+	// the setting can change between runs on existing data.
+	StorageFormat string
 }
 
 // Database is an open SimDB instance.
@@ -144,6 +148,7 @@ func Open(cfg Config) (*Database, error) {
 		MaintenanceWorkers:      cfg.MaintenanceWorkers,
 		StallThreshold:          cfg.StallThreshold,
 		WALSyncMode:             cfg.WALSyncMode,
+		StorageFormat:           cfg.StorageFormat,
 	})
 	if err != nil {
 		return nil, err

@@ -43,6 +43,17 @@ type Options struct {
 	// ReuseSubplans unifies duplicate dataset scans under a shared
 	// (replicated) node (paper §5.4.2).
 	ReuseSubplans bool
+	// ProjectionPushdown annotates each dataset scan with the set of
+	// top-level record fields the plan actually reads, so the scan can
+	// skip decoding (and, on columnar components, skip reading) the
+	// rest. Participates in the plan-cache key like every option.
+	ProjectionPushdown bool
+	// BatchedVerify marks selects whose condition carries a similarity
+	// conjunct with a constant query side, so job generation lowers
+	// them to the vectorized verifier (query tokenized once per
+	// operator instance, candidates checked in batches with early
+	// termination).
+	BatchedVerify bool
 	// MemoryBudgetBytes is the per-query operator memory budget the plan
 	// will execute under (0 = unlimited). Physical rules consult it: a
 	// very tight budget demotes hash-hinted group-bys to the sort-based
@@ -52,7 +63,10 @@ type Options struct {
 
 // DefaultOptions enables everything, like stock AsterixDB.
 func DefaultOptions() Options {
-	return Options{UseIndexes: true, UseThreeStageJoin: true, SurrogateINLJ: true, ReuseSubplans: true}
+	return Options{
+		UseIndexes: true, UseThreeStageJoin: true, SurrogateINLJ: true,
+		ReuseSubplans: true, ProjectionPushdown: true, BatchedVerify: true,
+	}
 }
 
 // CompileStats counts notable compile-time decisions of one
@@ -141,6 +155,8 @@ func (o *Optimizer) Optimize(root *algebra.Op) (*algebra.Op, error) {
 			{"choose-join-algorithm", chooseJoinAlgorithm},
 			{"group-by-hash-to-sort", hashGroupBudgetRule},
 			{"normalize-keys", normalizeKeys},
+			{"projection-pushdown", projectionPushdownRule},
+			{"batch-similarity-verify", batchVerifyRule},
 		},
 	}
 	for _, rs := range ruleSets {

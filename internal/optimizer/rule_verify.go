@@ -1,0 +1,48 @@
+package optimizer
+
+import (
+	"simdb/internal/algebra"
+)
+
+// SimConjunct is a recognized similarity conjunct, exported so the
+// runtime's batched verification path shares this package's predicate
+// matcher instead of re-implementing it.
+type SimConjunct = simCond
+
+// ParseSimConjunct recognizes a similarity predicate in either
+// comparison order (see parseSimCond); strict comparisons fold into the
+// threshold, so callers can treat every match as fn(a, b) >= Threshold
+// (jaccard) or <= Threshold (edit distance).
+func ParseSimConjunct(e algebra.Expr) (SimConjunct, bool) {
+	return parseSimCond(e)
+}
+
+// batchVerifyRule marks selects whose condition carries a Jaccard
+// conjunct with exactly one constant-foldable side — a fixed query
+// token set checked against a per-tuple candidate. Job generation
+// lowers marked selects to the vectorized verifier. The mark is
+// plan-only: an unmarked select with the same condition evaluates
+// identically, one tuple at a time.
+func batchVerifyRule(o *Optimizer, root *algebra.Op) (*algebra.Op, bool, error) {
+	if !o.Opts.BatchedVerify {
+		return root, false, nil
+	}
+	changed := false
+	algebra.Walk(root, func(op *algebra.Op) {
+		if op.Kind != algebra.OpSelect || op.BatchVerify || op.Cond == nil {
+			return
+		}
+		for _, conj := range algebra.Conjuncts(op.Cond) {
+			sc, ok := parseSimCond(conj)
+			if !ok || sc.Fn != "jaccard" {
+				continue
+			}
+			if constFoldable(sc.Left) != constFoldable(sc.Right) {
+				op.BatchVerify = true
+				changed = true
+				return
+			}
+		}
+	})
+	return root, changed, nil
+}

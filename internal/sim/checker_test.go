@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestJaccardCheckerMatchesJaccardCheck drives one reused checker
+// through many random candidates and thresholds and demands bit-exact
+// agreement with the stateless JaccardCheck. Reusing a single checker
+// per query is the point: it proves the count map is restored after
+// every call, including early-terminated ones.
+func TestJaccardCheckerMatchesJaccardCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vocab := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	randToks := func(max int) []string {
+		n := rng.Intn(max + 1)
+		out := make([]string, n)
+		for i := range out {
+			out[i] = vocab[rng.Intn(len(vocab))]
+		}
+		return out
+	}
+	deltas := []float64{-0.5, 0, 0.1, 0.3, 0.5, 0.75, 0.9, 1.0}
+	for trial := 0; trial < 200; trial++ {
+		query := randToks(12)
+		checker := NewJaccardChecker(query)
+		for cand := 0; cand < 20; cand++ {
+			c := randToks(12)
+			for _, delta := range deltas {
+				wantSim, wantOK := JaccardCheck(query, c, delta)
+				gotSim, gotOK := checker.Check(c, delta)
+				if gotSim != wantSim || gotOK != wantOK {
+					t.Fatalf("query %v cand %v delta %v: checker (%v, %v), JaccardCheck (%v, %v)",
+						query, c, delta, gotSim, gotOK, wantSim, wantOK)
+				}
+			}
+		}
+		// After all that reuse the checker must still see the query as
+		// identical to itself.
+		if len(query) > 0 {
+			if sim, ok := checker.Check(query, 1.0); !ok || sim != 1.0 {
+				t.Fatalf("self-check after reuse: (%v, %v), want (1, true)", sim, ok)
+			}
+		}
+	}
+}

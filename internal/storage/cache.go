@@ -29,6 +29,10 @@ type BufferCache struct {
 type pageKey struct {
 	fileID uint64
 	pageNo uint32
+	// tag distinguishes derived views of the same region: "" for the
+	// raw bytes or the full built page, a projection signature for a
+	// projected build (see ReadBuiltTagged).
+	tag string
 }
 
 type cacheEntry struct {
@@ -60,7 +64,7 @@ func (c *BufferCache) PageSize() int { return c.pageSize }
 // roughly one page each, so one region ≈ one cache page). The returned
 // slice is shared — callers must not modify it.
 func (c *BufferCache) ReadRegion(fileID uint64, r io.ReaderAt, regionNo uint32, off int64, length int) ([]byte, error) {
-	key := pageKey{fileID, regionNo}
+	key := pageKey{fileID: fileID, pageNo: regionNo}
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(el)
@@ -78,6 +82,59 @@ func (c *BufferCache) ReadRegion(fileID uint64, r io.ReaderAt, regionNo uint32, 
 		return nil, fmt.Errorf("storage: read region %d of file %d: %w", regionNo, fileID, err)
 	}
 	c.pagesRead.Add(1)
+
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		// Raced with another reader; keep the resident copy.
+		c.lru.MoveToFront(el)
+		data = el.Value.(*cacheEntry).data
+		c.mu.Unlock()
+		return data, nil
+	}
+	el := c.lru.PushFront(&cacheEntry{key: key, data: data})
+	c.entries[key] = el
+	for c.lru.Len() > c.capacity {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+	}
+	c.mu.Unlock()
+	return data, nil
+}
+
+// ReadBuilt is ReadRegion for derived pages: on miss it calls build to
+// produce the bytes (e.g. materializing a columnar row group into a
+// page image) and caches the result under (fileID, regionNo), so
+// repeated reads of the same group skip both the disk and the
+// reassembly. The returned slice is shared — callers must not modify
+// it.
+func (c *BufferCache) ReadBuilt(fileID uint64, regionNo uint32, build func() ([]byte, error)) ([]byte, error) {
+	return c.ReadBuiltTagged(fileID, regionNo, "", build)
+}
+
+// ReadBuiltTagged is ReadBuilt with an extra cache-key tag, so several
+// derived views of one region — the full built page and per-projection
+// partial pages — can be resident at once without colliding. Repeated
+// projected scans of a columnar group then skip both the block reads
+// and the reassembly, the same way full scans do.
+func (c *BufferCache) ReadBuiltTagged(fileID uint64, regionNo uint32, tag string, build func() ([]byte, error)) ([]byte, error) {
+	key := pageKey{fileID: fileID, pageNo: regionNo, tag: tag}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		data := el.Value.(*cacheEntry).data
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return data, nil
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	data, err := build()
+	if err != nil {
+		return nil, err
+	}
 
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {

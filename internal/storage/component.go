@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"strings"
 	"sync/atomic"
 
 	"simdb/internal/obs"
@@ -215,6 +216,10 @@ type Component struct {
 	fileID uint64
 	cache  *BufferCache
 	pages  []pageMeta
+	// groups is non-nil for columnar (version 2) components; pages then
+	// holds one fence-key entry per row group and data is materialized
+	// through buildGroupPage instead of read directly.
+	groups []colGroupMeta
 	bloom  *Bloom
 	n      int64
 	size   int64
@@ -262,9 +267,10 @@ func OpenComponentFS(fs VFS, path string, cache *BufferCache) (*Component, error
 		f.Close()
 		return nil, errCorrupt("bad magic")
 	}
-	if v := binary.LittleEndian.Uint32(footer[8:]); v != componentVersion {
+	version := binary.LittleEndian.Uint32(footer[8:])
+	if version != componentVersion && version != componentVersionColumnar {
 		f.Close()
-		return nil, errCorrupt(fmt.Sprintf("unsupported version %d", v))
+		return nil, errCorrupt(fmt.Sprintf("unsupported version %d", version))
 	}
 	n := int64(binary.LittleEndian.Uint64(footer[12:]))
 	indexOff := int64(binary.LittleEndian.Uint64(footer[20:]))
@@ -280,10 +286,21 @@ func OpenComponentFS(fs VFS, path string, cache *BufferCache) (*Component, error
 		f.Close()
 		return nil, err
 	}
-	pages, err := parsePageIndex(idxBuf)
-	if err != nil {
-		f.Close()
-		return nil, err
+	var pages []pageMeta
+	var groups []colGroupMeta
+	if version == componentVersionColumnar {
+		groups, err = parseColGroupIndex(idxBuf, indexOff)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		pages = pagesFromGroups(groups)
+	} else {
+		pages, err = parsePageIndex(idxBuf)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
 	}
 	blBuf := make([]byte, st.Size()-footerSize-bloomOff)
 	if _, err := f.ReadAt(blBuf, bloomOff); err != nil {
@@ -302,6 +319,7 @@ func OpenComponentFS(fs VFS, path string, cache *BufferCache) (*Component, error
 		fileID: NewFileID(),
 		cache:  cache,
 		pages:  pages,
+		groups: groups,
 		bloom:  bloom,
 		n:      n,
 		size:   st.Size(),
@@ -403,8 +421,27 @@ func (c *Component) findPage(key []byte) int {
 }
 
 func (c *Component) readPage(i int) ([]byte, error) {
+	if c.groups != nil {
+		return c.cache.ReadBuilt(c.fileID, uint32(i)*colRegionStride, func() ([]byte, error) {
+			return c.buildGroupPage(i, nil)
+		})
+	}
 	p := c.pages[i]
 	return c.cache.ReadRegion(c.fileID, c.f, uint32(i), p.off, int(p.length))
+}
+
+// readPageView returns page i with an optional field projection. Row
+// components ignore the projection (their pages hold whole entries);
+// columnar components assemble a partial image on first use and cache
+// it under the projection's signature, so repeated projected scans hit
+// the buffer cache like full scans do.
+func (c *Component) readPageView(i int, keep map[string]bool, projTag string) ([]byte, error) {
+	if keep == nil || c.groups == nil {
+		return c.readPage(i)
+	}
+	return c.cache.ReadBuiltTagged(c.fileID, uint32(i)*colRegionStride, projTag, func() ([]byte, error) {
+		return c.buildGroupPage(i, keep)
+	})
 }
 
 // Get returns the value stored for key, a boolean for presence, or an
@@ -491,6 +528,21 @@ func (it *pageIter) next() bool {
 	return true
 }
 
+// projSignature canonicalizes a projection for use as a cache-key tag:
+// "" for no projection, otherwise "p:" plus the sorted field names. Two
+// iterators projecting the same field set share cached partial pages.
+func projSignature(keep map[string]bool) string {
+	if keep == nil {
+		return ""
+	}
+	fields := make([]string, 0, len(keep))
+	for f := range keep {
+		fields = append(fields, f)
+	}
+	sort.Strings(fields)
+	return "p:" + strings.Join(fields, "\x00")
+}
+
 // Iterator iterates entries with key in [start, end) in key order. A
 // nil start begins at the first key; a nil end runs to the last.
 type Iterator struct {
@@ -498,6 +550,8 @@ type Iterator struct {
 	pageIdx int
 	it      pageIter
 	end     []byte
+	keep    map[string]bool // non-nil: project columnar entries to these fields
+	projTag string          // cache-key signature of keep ("" when keep is nil)
 	key     []byte
 	val     []byte
 	err     error
@@ -508,7 +562,29 @@ type Iterator struct {
 // NewIterator returns an iterator positioned before the first entry >=
 // start.
 func (c *Component) NewIterator(start, end []byte) *Iterator {
-	it := &Iterator{c: c, end: end}
+	return c.newIterator(start, end, nil)
+}
+
+// NewProjectedIterator is NewIterator restricted to the named top-level
+// record fields. On columnar components only the referenced column
+// blocks are read and values come back as partial records holding just
+// those fields (tombstones and opaque entries pass through whole); on
+// row components the projection is ignored and full entries are
+// returned — callers must treat the values as "at least the projected
+// fields". A nil fields slice means no projection.
+func (c *Component) NewProjectedIterator(start, end []byte, fields []string) *Iterator {
+	if fields == nil || c.groups == nil {
+		return c.newIterator(start, end, nil)
+	}
+	keep := make(map[string]bool, len(fields))
+	for _, f := range fields {
+		keep[f] = true
+	}
+	return c.newIterator(start, end, keep)
+}
+
+func (c *Component) newIterator(start, end []byte, keep map[string]bool) *Iterator {
+	it := &Iterator{c: c, end: end, keep: keep, projTag: projSignature(keep)}
 	if len(c.pages) == 0 {
 		it.done = true
 		return it
@@ -555,7 +631,7 @@ func (it *Iterator) loadPage() error {
 		it.done = true
 		return nil
 	}
-	page, err := it.c.readPage(it.pageIdx)
+	page, err := it.c.readPageView(it.pageIdx, it.keep, it.projTag)
 	if err != nil {
 		return err
 	}

@@ -8,12 +8,14 @@
 package storage_test
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"testing"
 
+	"simdb/internal/adm"
 	"simdb/internal/obs"
 	"simdb/internal/storage"
 	"simdb/internal/storage/errfs"
@@ -24,6 +26,21 @@ const crashRecords = 18
 func crashKey(i int) string { return fmt.Sprintf("k%03d", i) }
 func crashVal(i int) string { return fmt.Sprintf("v%03d", i) }
 
+// crashValBytes is the stored value for row i. The columnar variant
+// stores ADM-encoded records (entry payloads the columnar writer will
+// shred into column blocks) so the v2 flush and merge paths are the
+// ones actually exercised; the row variant keeps the original opaque
+// strings.
+func crashValBytes(i int, columnar bool) []byte {
+	if !columnar {
+		return []byte(crashVal(i))
+	}
+	rec := adm.EmptyRecord(2)
+	rec.Set("id", adm.NewInt(int64(i)))
+	rec.Set("text", adm.NewString(crashVal(i)))
+	return adm.Append(nil, adm.NewRecord(rec))
+}
+
 // crashToks are the two secondary-index postings committed atomically
 // with row i, as entry keys on the "i:kw" tree.
 func crashToks(i int) [2]string {
@@ -31,22 +48,25 @@ func crashToks(i int) [2]string {
 }
 
 type crashEnv struct {
-	wal  *storage.WAL
-	prim *storage.LSMTree
-	kw   *storage.LSMTree
+	wal      *storage.WAL
+	prim     *storage.LSMTree
+	kw       *storage.LSMTree
+	columnar bool
 }
 
 // openCrashEnv opens the per-partition WAL and the two trees sharing
 // it (primary and one secondary index), exactly as a node does. The
 // tiny segment size forces rotations during the workload; the large
-// memtable budget keeps flushes under explicit test control.
-func openCrashEnv(fs *errfs.FS) (*crashEnv, error) {
+// memtable budget keeps flushes under explicit test control. When
+// columnar is set the primary flushes version-2 components while the
+// index tree stays row-format, mirroring the node configuration.
+func openCrashEnv(fs *errfs.FS, columnar bool) (*crashEnv, error) {
 	w, err := storage.OpenWAL("wal", storage.WALOptions{SegmentBytes: 256, FS: fs})
 	if err != nil {
 		return nil, err
 	}
 	prim, err := storage.OpenLSM("prim", storage.LSMOptions{
-		FS: fs, WAL: w, WALTree: "p", MemBudgetBytes: 1 << 20,
+		FS: fs, WAL: w, WALTree: "p", MemBudgetBytes: 1 << 20, Columnar: columnar,
 	})
 	if err != nil {
 		w.Close()
@@ -60,7 +80,7 @@ func openCrashEnv(fs *errfs.FS) (*crashEnv, error) {
 		w.Close()
 		return nil, err
 	}
-	return &crashEnv{wal: w, prim: prim, kw: kw}, nil
+	return &crashEnv{wal: w, prim: prim, kw: kw, columnar: columnar}, nil
 }
 
 // close tears down in dependency order: trees first (their final flush
@@ -87,9 +107,9 @@ func (e *crashEnv) close() error {
 // each phase quiesces the asynchronous checkpoint-record writes the
 // flush path enqueues — so the Nth filesystem operation is the same
 // operation in every run.
-func runCrashScript(fs *errfs.FS) (acked int) {
+func runCrashScript(fs *errfs.FS, columnar bool) (acked int) {
 	fs.SetPhase("open")
-	env, err := openCrashEnv(fs)
+	env, err := openCrashEnv(fs, columnar)
 	if err != nil {
 		return 0
 	}
@@ -99,7 +119,7 @@ func runCrashScript(fs *errfs.FS) (acked int) {
 	put := func(i int) bool {
 		toks := crashToks(i)
 		lsn, err := storage.CommitGroup(env.wal, []storage.GroupWrite{
-			{Tree: env.prim, Key: []byte(crashKey(i)), Val: []byte(crashVal(i))},
+			{Tree: env.prim, Key: []byte(crashKey(i)), Val: crashValBytes(i, columnar)},
 			{Tree: env.kw, Key: []byte(toks[0])},
 			{Tree: env.kw, Key: []byte(toks[1])},
 		})
@@ -185,8 +205,8 @@ func crashPrefix(t *testing.T, env *crashEnv, acked int, label string) int {
 			if i != k {
 				t.Fatalf("%s: row %d present but row %d missing — recovered set is not a prefix", label, i, k)
 			}
-			if string(v) != crashVal(i) {
-				t.Fatalf("%s: row %d = %q, want %q", label, i, v, crashVal(i))
+			if want := crashValBytes(i, env.columnar); !bytes.Equal(v, want) {
+				t.Fatalf("%s: row %d = %q, want %q", label, i, v, want)
 			}
 			k++
 		}
@@ -211,12 +231,12 @@ func crashPrefix(t *testing.T, env *crashEnv, acked int, label string) int {
 // checks the recovered state, then does a clean close / crash / reopen
 // cycle to check that recovery itself (quarantine renames, WAL tail
 // truncation, checkpoints) left the database re-recoverable and stable.
-func verifyCrashRecovery(t *testing.T, fs *errfs.FS, acked int, label string) {
+func verifyCrashRecovery(t *testing.T, fs *errfs.FS, acked int, columnar bool, label string) {
 	t.Helper()
 	fs.SetPlan(errfs.Plan{CrashAtOp: -1})
 	fs.SetPhase("recover")
 	fs.Reopen()
-	env, err := openCrashEnv(fs)
+	env, err := openCrashEnv(fs, columnar)
 	if err != nil {
 		t.Fatalf("%s: recovery open failed: %v", label, err)
 	}
@@ -225,7 +245,7 @@ func verifyCrashRecovery(t *testing.T, fs *errfs.FS, acked int, label string) {
 		t.Fatalf("%s: clean close after recovery: %v", label, err)
 	}
 	fs.Reopen()
-	env2, err := openCrashEnv(fs)
+	env2, err := openCrashEnv(fs, columnar)
 	if err != nil {
 		t.Fatalf("%s: second recovery open failed: %v", label, err)
 	}
@@ -255,12 +275,12 @@ func variantName(v errfs.Variant) string {
 // after each.
 func TestCrashRecoveryMatrix(t *testing.T) {
 	fs := errfs.New()
-	acked := runCrashScript(fs)
+	acked := runCrashScript(fs, false)
 	ops := fs.Ops()
 	if acked != crashRecords {
 		t.Fatalf("fault-free run acknowledged %d/%d records", acked, crashRecords)
 	}
-	verifyCrashRecovery(t, fs, acked, "fault-free")
+	verifyCrashRecovery(t, fs, acked, false, "fault-free")
 
 	distinct := make(map[string]bool)
 	for _, op := range ops {
@@ -287,12 +307,53 @@ func TestCrashRecoveryMatrix(t *testing.T) {
 			label := fmt.Sprintf("op %d %s [%s]", i, op, variantName(v))
 			ffs := errfs.New()
 			ffs.SetPlan(errfs.Plan{CrashAtOp: i, Variant: v})
-			acked := runCrashScript(ffs)
-			verifyCrashRecovery(t, ffs, acked, label)
+			acked := runCrashScript(ffs, false)
+			verifyCrashRecovery(t, ffs, acked, false, label)
 			runs++
 		}
 	}
 	t.Logf("verified %d crash scenarios", runs)
+}
+
+// TestCrashRecoveryMatrixColumnar re-runs the crash matrix with the
+// primary tree flushing columnar (version-2) components and ADM-record
+// values, restricted to the flush, merge, and close phases — the only
+// ops whose filesystem traffic the columnar writer changes (the
+// put/WAL phases are byte-for-byte the row workload). Columnar flush
+// and merge must honor the same WAL-barrier, crash-atomic-install, and
+// quarantine contracts as row components.
+func TestCrashRecoveryMatrixColumnar(t *testing.T) {
+	fs := errfs.New()
+	acked := runCrashScript(fs, true)
+	ops := fs.Ops()
+	if acked != crashRecords {
+		t.Fatalf("fault-free columnar run acknowledged %d/%d records", acked, crashRecords)
+	}
+	verifyCrashRecovery(t, fs, acked, true, "fault-free")
+
+	runs := 0
+	for i, op := range ops {
+		if !strings.HasPrefix(op, "flush/") && !strings.HasPrefix(op, "merge/") &&
+			!strings.HasPrefix(op, "close/") {
+			continue
+		}
+		variants := []errfs.Variant{errfs.Kill}
+		if strings.Contains(op, ":write") || strings.Contains(op, ":sync") {
+			variants = append(variants, errfs.Torn, errfs.FailOp)
+		}
+		for _, v := range variants {
+			label := fmt.Sprintf("op %d %s [%s columnar]", i, op, variantName(v))
+			ffs := errfs.New()
+			ffs.SetPlan(errfs.Plan{CrashAtOp: i, Variant: v})
+			acked := runCrashScript(ffs, true)
+			verifyCrashRecovery(t, ffs, acked, true, label)
+			runs++
+		}
+	}
+	if runs == 0 {
+		t.Fatal("no flush/merge/close crash points found in the columnar op trace")
+	}
+	t.Logf("verified %d columnar crash scenarios", runs)
 }
 
 // TestWALReplayIdempotent recovers the same un-checkpointed log twice
@@ -301,7 +362,7 @@ func TestCrashRecoveryMatrix(t *testing.T) {
 func TestWALReplayIdempotent(t *testing.T) {
 	fs := errfs.New()
 	fs.SetPhase("run")
-	env, err := openCrashEnv(fs)
+	env, err := openCrashEnv(fs, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -85,6 +85,28 @@ type LSMOptions struct {
 	// among the WAL's trees and stable across restarts.
 	WAL     *WAL
 	WALTree string
+	// Columnar makes flushes, merges, and bulk loads write version-2
+	// columnar components (record values shredded into per-field columns
+	// for projected scans). Reading is always version-agnostic: a tree
+	// may hold row and columnar components side by side, so flipping the
+	// flag — either way — is safe on existing data.
+	Columnar bool
+}
+
+// componentSink abstracts the two component writers so the flush,
+// merge, and bulk-load paths pick the output format from one place.
+type componentSink interface {
+	Add(key, value []byte) error
+	Finish() error
+	Abort()
+}
+
+// newComponentSink creates the configured component writer for path.
+func (t *LSMTree) newComponentSink(path string) (componentSink, error) {
+	if t.opts.Columnar {
+		return NewColumnarComponentWriterFS(t.fs, path, t.opts.PageSize)
+	}
+	return NewComponentWriterFS(t.fs, path, t.opts.PageSize)
 }
 
 func (o *LSMOptions) withDefaults() LSMOptions {
@@ -899,7 +921,7 @@ func (t *LSMTree) writeMemtable(im *immMem) (*Component, error) {
 		}
 	}
 	path := filepath.Join(t.dir, componentName(im.seq, im.seq, 0))
-	cw, err := NewComponentWriterFS(t.fs, path+componentTmpSuffix, t.opts.PageSize)
+	cw, err := t.newComponentSink(path + componentTmpSuffix)
 	if err != nil {
 		return nil, err
 	}
@@ -1060,7 +1082,7 @@ func (t *LSMTree) mergeComponents(inputs []*Component, drop bool, delay func()) 
 	t.mu.Unlock()
 
 	path := filepath.Join(t.dir, componentName(seq, lo, gen))
-	cw, err := NewComponentWriterFS(t.fs, path+componentTmpSuffix, t.opts.PageSize)
+	cw, err := t.newComponentSink(path + componentTmpSuffix)
 	if err != nil {
 		return err
 	}
@@ -1268,6 +1290,18 @@ func (t *LSMTree) ScanContext(ctx context.Context, start, end []byte, fn func(ke
 	return s.Scan(ctx, start, end, fn)
 }
 
+// ScanProjectedContext is ScanContext restricted to the named top-level
+// record fields: columnar components read only the referenced column
+// blocks and deliver partial records, while memtables and row-format
+// components deliver full entries. fn therefore receives values
+// guaranteed to contain at least the projected fields; it must not
+// assume the others are absent. A nil fields slice scans everything.
+func (t *LSMTree) ScanProjectedContext(ctx context.Context, start, end []byte, fields []string, fn func(key, value []byte) bool) error {
+	s := t.Snapshot()
+	defer s.Close()
+	return s.ScanProjected(ctx, start, end, fields, fn)
+}
+
 // BulkLoad streams pre-sorted entries directly into a single on-disk
 // component, bypassing the memtable — the fast path dataset and index
 // builds use (AsterixDB bulk-loads secondary indexes the same way).
@@ -1280,7 +1314,7 @@ func (t *LSMTree) BulkLoad(next func() (key, value []byte, ok bool, err error)) 
 		return fmt.Errorf("storage: bulk load into non-empty tree")
 	}
 	path := filepath.Join(t.dir, componentName(t.nextSeq, t.nextSeq, 0))
-	cw, err := NewComponentWriterFS(t.fs, path+componentTmpSuffix, t.opts.PageSize)
+	cw, err := t.newComponentSink(path + componentTmpSuffix)
 	if err != nil {
 		return err
 	}

@@ -149,9 +149,18 @@ func (mc *memCursor) advance(key string) {
 // slow consumer never starves writers. A nil ctx disables cancellation
 // checks.
 func (s *TreeSnapshot) Scan(ctx context.Context, start, end []byte, fn func(key, value []byte) bool) error {
+	return s.ScanProjected(ctx, start, end, nil, fn)
+}
+
+// ScanProjected is Scan restricted to the named top-level record
+// fields. Columnar components read only the referenced column blocks
+// and yield partial records; memtables and row-format components yield
+// full entries — fn receives at least the projected fields either way.
+// A nil fields slice scans everything.
+func (s *TreeSnapshot) ScanProjected(ctx context.Context, start, end []byte, fields []string, fn func(key, value []byte) bool) error {
 	iters := make([]*Iterator, len(s.components))
 	for i, c := range s.components {
-		iters[i] = c.NewIterator(start, end)
+		iters[i] = c.NewProjectedIterator(start, end, fields)
 	}
 	merge := newMergeIter(iters)
 	diskValid := merge.next()
