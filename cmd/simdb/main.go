@@ -31,17 +31,21 @@ func main() {
 		nodes   = flag.Int("nodes", 2, "simulated node count")
 		parts   = flag.Int("parts", 2, "partitions per node")
 		query   = flag.String("q", "", "run one request and exit")
+		dbgAddr = flag.String("debug-addr", "", "start the introspection HTTP server on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	if *dataDir == "" {
 		fmt.Fprintln(os.Stderr, "simdb: -data is required")
 		os.Exit(2)
 	}
-	db, err := core.Open(core.Config{DataDir: *dataDir, NumNodes: *nodes, PartitionsPerNode: *parts})
+	db, err := core.Open(core.Config{DataDir: *dataDir, NumNodes: *nodes, PartitionsPerNode: *parts, DebugAddr: *dbgAddr})
 	if err != nil {
 		fatal(err)
 	}
 	defer db.Close()
+	if addr := db.DebugAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "introspection server on http://%s/\n", addr)
+	}
 	sess := db.NewSession()
 
 	if *query != "" {

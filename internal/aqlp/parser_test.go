@@ -284,3 +284,28 @@ func TestParseLimit(t *testing.T) {
 		t.Errorf("limit = %+v", lc)
 	}
 }
+
+func TestParseExplain(t *testing.T) {
+	q := mustParse(t, `explain for $x in dataset D return $x`)
+	if !q.Explain || q.Analyze {
+		t.Errorf("explain flags = %v/%v, want true/false", q.Explain, q.Analyze)
+	}
+	if q.Body == nil {
+		t.Fatal("explain lost the query body")
+	}
+
+	q = mustParse(t, `explain analyze use dataverse Default; for $x in dataset D return $x`)
+	if !q.Explain || !q.Analyze {
+		t.Errorf("explain analyze flags = %v/%v, want true/true", q.Explain, q.Analyze)
+	}
+	if len(q.Stmts) != 1 || q.Body == nil {
+		t.Fatalf("explain analyze dropped statements or body: %+v", q)
+	}
+
+	// Plain queries are unaffected, including ones using "explain" as a
+	// variable name downstream of the leading position.
+	q = mustParse(t, `for $x in dataset D return $x`)
+	if q.Explain || q.Analyze {
+		t.Errorf("bare query has explain flags set")
+	}
+}

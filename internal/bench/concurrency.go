@@ -12,8 +12,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"simdb/internal/core"
 	"simdb/internal/datagen"
 	"simdb/internal/obs"
+	"simdb/internal/obs/trace"
 )
 
 // ConcurrencyCell is one measured point of the concurrent-serving
@@ -34,10 +36,56 @@ type ConcurrencyReport struct {
 	Scale      int               `json:"scale"`
 	Nodes      int               `json:"nodes"`
 	Cells      []ConcurrencyCell `json:"cells"`
+	// ColdTrace and WarmTrace summarize twin captures of the same pool
+	// query — one compiled fresh, one served from the plan cache — so a
+	// cold-vs-warm latency gap can be attributed to a phase without
+	// rerunning anything. The full traces land next to the report as
+	// Chrome trace-event JSON.
+	ColdTrace *TracePhases `json:"cold_trace,omitempty"`
+	WarmTrace *TracePhases `json:"warm_trace,omitempty"`
 	// Metrics is the process-wide observability snapshot taken after the
 	// last cell: query latency quantiles, storage and cache counters,
 	// plan-cache and admission totals.
 	Metrics obs.Snapshot `json:"metrics"`
+}
+
+// TracePhases condenses one captured query trace: total wall time plus
+// the duration of every top-level phase span, in microseconds.
+type TracePhases struct {
+	QueryID      uint64             `json:"query_id"`
+	PlanCacheHit bool               `json:"plan_cache_hit"`
+	WallUs       float64            `json:"wall_us"`
+	PhaseUs      map[string]float64 `json:"phase_us"`
+}
+
+// captureTrace runs src once and pulls its trace from the tracer ring,
+// returning the phase summary and the Chrome trace-event export.
+func captureTrace(db *core.Database, src string) (*TracePhases, []byte, error) {
+	res, err := db.Query(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	tc := db.Cluster().Tracer()
+	tr, ok := tc.Get(res.Stats.QueryID)
+	if !ok {
+		return nil, nil, nil // tracing disabled
+	}
+	tp := &TracePhases{
+		QueryID:      res.Stats.QueryID,
+		PlanCacheHit: res.Stats.PlanCacheHit,
+		WallUs:       float64(tr.DurNs()) / 1e3,
+		PhaseUs:      map[string]float64{},
+	}
+	for _, s := range tr.Spans() {
+		if s.Cat == trace.CatPhase {
+			tp.PhaseUs[s.Name] += float64(s.DurNs) / 1e3
+		}
+	}
+	buf, err := tr.ChromeJSON(tc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tp, buf, nil
 }
 
 // Concurrency measures concurrent query throughput: parallel
@@ -171,12 +219,42 @@ func (e *Env) Concurrency() error {
 		}
 	}
 
-	report.Metrics = db.Metrics()
-
 	dir := e.ReportDir
 	if dir == "" {
 		dir = "."
 	}
+
+	// Twin traces: the same pool query captured cold (cache cleared, full
+	// compile) and warm (plan-cache hit) under identical settings. The
+	// phase summaries go into the report; the full traces are written as
+	// Perfetto-loadable files beside it.
+	db.SetPlanCacheEnabled(true)
+	db.Cluster().PlanCache().Clear()
+	for _, cap := range []struct {
+		label string
+		dst   **TracePhases
+	}{
+		{"cold", &report.ColdTrace},
+		{"warm", &report.WarmTrace},
+	} {
+		tp, buf, err := captureTrace(db, pool[0])
+		if err != nil {
+			return err
+		}
+		if tp == nil {
+			break
+		}
+		*cap.dst = tp
+		tracePath := filepath.Join(dir, "BENCH_concurrency."+cap.label+"-trace.json")
+		if err := os.WriteFile(tracePath, buf, 0o644); err != nil {
+			return err
+		}
+		e.logf("%s trace: query %d, wall %.0fus, phases %v -> %s\n",
+			cap.label, tp.QueryID, tp.WallUs, tp.PhaseUs, tracePath)
+	}
+
+	report.Metrics = db.Metrics()
+
 	path := filepath.Join(dir, "BENCH_concurrency.json")
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -14,6 +14,7 @@ import (
 	"simdb/internal/aqlp"
 	"simdb/internal/invindex"
 	"simdb/internal/obs"
+	"simdb/internal/obs/trace"
 	"simdb/internal/optimizer"
 	"simdb/internal/storage"
 	"simdb/internal/tokenizer"
@@ -30,14 +31,19 @@ type Cluster struct {
 	tOccAlgo  atomic.Int32
 	simNetLat atomic.Int64 // nanoseconds of simulated cross-node frame latency
 
-	// querySeq numbers query executions; each budgeted query's spill
-	// run files live under DataDir/tmp/q<seq>.
-	querySeq atomic.Int64
+	// activeQ is the live registry of in-flight queries (introspection
+	// and cancellation); tracer records per-query traces. Each budgeted
+	// query's spill run files live under DataDir/tmp/q<queryID>.
+	activeQ *activeQueries
+	tracer  *trace.Tracer
 
 	// slowThresh is the slow-query log latency threshold in nanoseconds
-	// (0 = disabled); slowLog renders the records.
+	// (0 = disabled); slowLog renders the records and slowRing retains
+	// the most recent ones for GET /slowlog.
 	slowThresh atomic.Int64
 	slowLog    *obs.Logger
+	slowMu     sync.Mutex
+	slowRing   []SlowQueryRecord
 
 	planCache *PlanCache
 	qm        *QueryManager
@@ -90,6 +96,8 @@ func New(cfg Config) (*Cluster, error) {
 		planCache: NewPlanCache(cfg.PlanCacheSize),
 		qm:        newQueryManager(cfg.MaxConcurrentQueries, cfg.QueryTimeout, cfg.ClusterMemoryBudget),
 		slowLog:   obs.NewLogger(os.Stderr, obs.LevelInfo),
+		activeQ:   newActiveQueries(),
+		tracer:    trace.Default(),
 	}
 	c.tOccAlgo.Store(int32(cfg.TOccurrenceAlgorithm))
 	c.slowThresh.Store(int64(cfg.SlowQueryThreshold))

@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"simdb/internal/adm"
+)
+
+// explainAnalyzeRows renders the EXPLAIN ANALYZE report for a finished
+// query: a header line, the compile-phase breakdown, the optimized
+// logical plan, and the physical operator table annotated with measured
+// wall/busy/tuple/spill columns. Each report line is one string row, so
+// every client (CLI, tests, a future network protocol) receives the
+// report through the ordinary result path.
+func explainAnalyzeRows(res *Result) []adm.Value {
+	st := &res.Stats
+	var b strings.Builder
+	cache := "miss"
+	if st.PlanCacheHit {
+		cache = "HIT"
+	}
+	fmt.Fprintf(&b, "explain analyze (query %d): wall %s, %d rows, plan cache %s\n",
+		st.QueryID, time.Duration(st.AdmissionNs+st.ParseNs+st.TranslateNs+st.OptimizeNs+st.JobGenNs+st.ExecNs),
+		len(res.Rows), cache)
+	fmt.Fprintf(&b, "compile: admission=%s parse=%s translate=%s optimize=%s jobgen=%s\n",
+		time.Duration(st.AdmissionNs), time.Duration(st.ParseNs),
+		time.Duration(st.TranslateNs), time.Duration(st.OptimizeNs),
+		time.Duration(st.JobGenNs))
+	b.WriteString("logical plan:\n")
+	for _, line := range strings.Split(strings.TrimRight(st.LogicalPlan, "\n"), "\n") {
+		b.WriteString("  " + line + "\n")
+	}
+	// Physical operators in job order (not sorted by cost): the table
+	// should read like the plan it annotates.
+	fmt.Fprintf(&b, "%-32s %5s %12s %12s %10s %10s %6s %10s\n",
+		"operator", "inst", "wall", "busy", "in", "out", "spills", "spillbytes")
+	for _, op := range st.PhysicalOps {
+		fmt.Fprintf(&b, "%-32s %5d %12s %12s %10d %10d %6d %10d\n",
+			op.Name, op.Instances, time.Duration(op.WallNs), time.Duration(op.BusyNs),
+			op.TuplesIn, op.TuplesOut, op.SpillRuns, op.SpilledBytes)
+	}
+	if st.IndexSearches > 0 || st.CandidatesTotal > 0 || st.CornerCaseFallbacks > 0 {
+		fmt.Fprintf(&b, "similarity: T=%d searches=%d postings=%d candidates=%d verified=%d corner_fallbacks=%d\n",
+			st.OccurrenceT, st.IndexSearches, st.PostingsRead,
+			st.CandidatesTotal, st.VerifiedTotal, st.CornerCaseFallbacks)
+	}
+	if st.MemBudget > 0 {
+		fmt.Fprintf(&b, "memory: budget=%d high_water=%d spill_runs=%d spilled_bytes=%d\n",
+			st.MemBudget, st.MemHighWater, st.SpillRuns, st.SpilledBytes)
+	}
+	return planRows(b.String())
+}

@@ -1,0 +1,270 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQueryIDStamping(t *testing.T) {
+	c := newTestCluster(t, 1, 1)
+	sess := NewSession()
+	loadReviews(t, c, sess)
+
+	r1 := exec(t, c, sess, `for $r in dataset Reviews return $r.id`)
+	r2 := exec(t, c, sess, `for $r in dataset Reviews return $r.id`)
+	if r1.Stats.QueryID == 0 || r2.Stats.QueryID == 0 {
+		t.Fatalf("query IDs not assigned: %d, %d", r1.Stats.QueryID, r2.Stats.QueryID)
+	}
+	if r2.Stats.QueryID <= r1.Stats.QueryID {
+		t.Fatalf("query IDs not increasing: %d then %d", r1.Stats.QueryID, r2.Stats.QueryID)
+	}
+
+	// Profiles carry the same ID.
+	rp := exec(t, c, sess, `set profile 'on'; for $r in dataset Reviews return $r.id`)
+	if rp.Profile == nil {
+		t.Fatal("no profile")
+	}
+	if rp.Profile.QueryID != rp.Stats.QueryID {
+		t.Fatalf("profile id %d != stats id %d", rp.Profile.QueryID, rp.Stats.QueryID)
+	}
+
+	// Errors carry the ID in a typed payload.
+	_, err := c.Execute(context.Background(), sess, `for $r in dataset Nope return $r`)
+	var qe *QueryError
+	if !errors.As(err, &qe) {
+		t.Fatalf("error is %T, want *QueryError", err)
+	}
+	if qe.QueryID <= rp.Stats.QueryID {
+		t.Fatalf("error query id %d not after %d", qe.QueryID, rp.Stats.QueryID)
+	}
+	if !strings.Contains(err.Error(), "unknown dataset") {
+		t.Fatalf("wrapped error lost its message: %v", err)
+	}
+}
+
+func TestQueryTrace(t *testing.T) {
+	c := newTestCluster(t, 1, 1)
+	sess := NewSession()
+	loadReviews(t, c, sess)
+
+	res := exec(t, c, sess, `for $r in dataset Reviews return $r.id`)
+	tr, ok := c.Tracer().Get(res.Stats.QueryID)
+	if !ok {
+		t.Fatalf("no trace for query %d", res.Stats.QueryID)
+	}
+	if !tr.Done() || tr.Err() != "" {
+		t.Fatalf("trace done=%v err=%q", tr.Done(), tr.Err())
+	}
+	names := map[string]int{}
+	for _, s := range tr.Spans() {
+		names[s.Name]++
+	}
+	for _, want := range []string{"admission", "plan-cache", "parse", "compile", "jobgen", "execute"} {
+		if names[want] == 0 {
+			t.Fatalf("trace missing %q span; have %v", want, names)
+		}
+	}
+	// Operator spans hang under the execute phase.
+	var opSpans int
+	for _, s := range tr.Spans() {
+		if s.Cat == "operator" {
+			opSpans++
+		}
+	}
+	if opSpans == 0 {
+		t.Fatal("no operator spans recorded")
+	}
+	if buf, err := tr.ChromeJSON(c.Tracer()); err != nil || len(buf) == 0 {
+		t.Fatalf("ChromeJSON: %v", err)
+	}
+
+	// Warm run: the plan-cache span reports a hit and compile is skipped.
+	res2 := exec(t, c, sess, `for $r in dataset Reviews return $r.id`)
+	if !res2.Stats.PlanCacheHit {
+		t.Fatal("second run should hit the plan cache")
+	}
+	tr2, _ := c.Tracer().Get(res2.Stats.QueryID)
+	var sawHit bool
+	for _, s := range tr2.Spans() {
+		if s.Name == "compile" {
+			t.Fatal("warm trace has a compile span")
+		}
+		if s.Name == "plan-cache" {
+			for _, a := range s.Args {
+				if a.Key == "outcome" && a.Str == "hit" {
+					sawHit = true
+				}
+			}
+		}
+	}
+	if !sawHit {
+		t.Fatal("warm trace's plan-cache span not marked hit")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	c := newTestCluster(t, 1, 1)
+	sess := NewSession()
+	loadReviews(t, c, sess)
+
+	// Bare explain: plan text only, nothing executed.
+	res := exec(t, c, sess, `explain for $r in dataset Reviews return $r.id`)
+	if len(res.Rows) == 0 {
+		t.Fatal("explain returned no rows")
+	}
+	if res.Stats.ExecNs != 0 {
+		t.Fatal("bare explain executed the query")
+	}
+	var all []string
+	for _, row := range res.Rows {
+		all = append(all, row.Str())
+	}
+	plan := strings.Join(all, "\n")
+	if !strings.Contains(plan, "data-scan") {
+		t.Fatalf("explain output does not look like a plan:\n%s", plan)
+	}
+
+	// explain analyze: runs and annotates.
+	res = exec(t, c, sess, `explain analyze for $r in dataset Reviews return $r.id`)
+	report := rowsText(res)
+	for _, want := range []string{"explain analyze (query ", "compile:", "logical plan:", "operator"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("explain analyze report missing %q:\n%s", want, report)
+		}
+	}
+	if res.Stats.ExecNs == 0 {
+		t.Fatal("explain analyze did not execute")
+	}
+
+	// Errors: explain without a body.
+	mustErr(t, c, sess, `explain`)
+}
+
+func rowsText(res *Result) string {
+	var b strings.Builder
+	for _, row := range res.Rows {
+		b.WriteString(row.Str())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestExplainBypassesPlanCache proves an explain request neither reads
+// nor populates the cache entry of the equivalent bare query.
+func TestExplainBypassesPlanCache(t *testing.T) {
+	c := newTestCluster(t, 1, 1)
+	sess := NewSession()
+	loadReviews(t, c, sess)
+
+	exec(t, c, sess, `for $r in dataset Reviews return $r.id`) // cache the bare plan
+	res := exec(t, c, sess, `explain analyze for $r in dataset Reviews return $r.id`)
+	if res.Stats.PlanCacheHit {
+		t.Fatal("explain analyze hit the plan cache")
+	}
+	res2 := exec(t, c, sess, `explain analyze for $r in dataset Reviews return $r.id`)
+	if res2.Stats.PlanCacheHit {
+		t.Fatal("repeated explain analyze hit the plan cache")
+	}
+}
+
+func TestActiveQueriesAndCancel(t *testing.T) {
+	c, err := New(Config{NumNodes: 1, PartitionsPerNode: 1, DataDir: t.TempDir(), MaxConcurrentQueries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Execute(context.Background(), NewSession(), `create dataset D primary key id;`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Occupy the single admission slot directly so the next query is
+	// held deterministically in the admission phase.
+	_, release, _, err := c.qm.admit(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	errCh := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := c.Execute(context.Background(), NewSession(), `for $x in dataset D return $x`)
+		errCh <- err
+	}()
+
+	// The queued query must appear in ActiveQueries in the admission
+	// phase, carrying its normalized text.
+	var waiter ActiveQueryInfo
+	deadline := time.After(5 * time.Second)
+	for waiter.ID == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("queued query never appeared in ActiveQueries")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+		for _, aq := range c.ActiveQueries() {
+			if aq.Phase == "admission" {
+				waiter = aq
+			}
+		}
+	}
+	if !strings.Contains(waiter.Query, "dataset D") {
+		t.Fatalf("active query text = %q", waiter.Query)
+	}
+	if waiter.ElapsedNs <= 0 {
+		t.Fatalf("active query elapsed = %d", waiter.ElapsedNs)
+	}
+
+	if !c.CancelQuery(waiter.ID) {
+		t.Fatal("CancelQuery reported no such query")
+	}
+	err = <-errCh
+	wg.Wait()
+	if err == nil {
+		t.Fatal("canceled query returned no error")
+	}
+	var qe *QueryError
+	if !errors.As(err, &qe) || qe.QueryID != waiter.ID {
+		t.Fatalf("canceled query error = %v", err)
+	}
+	if err := release(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	if c.CancelQuery(waiter.ID) {
+		t.Fatal("CancelQuery found a finished query")
+	}
+	if len(c.ActiveQueries()) != 0 {
+		t.Fatalf("queries still active: %+v", c.ActiveQueries())
+	}
+}
+
+func TestSlowQueryRing(t *testing.T) {
+	c := newTestCluster(t, 1, 1)
+	sess := NewSession()
+	loadReviews(t, c, sess)
+	c.SetSlowQueryLogOutput(nopWriter{})
+	c.SetSlowQueryThreshold(time.Nanosecond) // everything is slow
+
+	res := exec(t, c, sess, `for $r in dataset Reviews return $r.id`)
+	recs := c.SlowQueries()
+	if len(recs) == 0 {
+		t.Fatal("no slow-query records retained")
+	}
+	if recs[0].QueryID != res.Stats.QueryID {
+		t.Fatalf("ring head id %d, want %d", recs[0].QueryID, res.Stats.QueryID)
+	}
+	if recs[0].Query == "" || recs[0].WallNs <= 0 {
+		t.Fatalf("ring record incomplete: %+v", recs[0])
+	}
+}
+
+type nopWriter struct{}
+
+func (nopWriter) Write(p []byte) (int, error) { return len(p), nil }

@@ -29,11 +29,59 @@ func (c *Cluster) SetSlowQueryLogOutput(w io.Writer) {
 	c.slowLog.SetOutput(w)
 }
 
+// SlowQueryRecord is one retained slow-query log entry (GET /slowlog).
+type SlowQueryRecord struct {
+	QueryID      uint64    `json:"query_id"`
+	Time         time.Time `json:"time"`
+	WallNs       int64     `json:"wall_ns"`
+	Query        string    `json:"query"`
+	PlanCacheHit bool      `json:"plan_cache_hit"`
+	Rows         int       `json:"rows"`
+	Error        string    `json:"error,omitempty"`
+}
+
+// slowRingCap bounds the retained slow-query records.
+const slowRingCap = 128
+
+// SlowQueries returns the retained slow-query records, newest first.
+func (c *Cluster) SlowQueries() []SlowQueryRecord {
+	c.slowMu.Lock()
+	defer c.slowMu.Unlock()
+	out := make([]SlowQueryRecord, 0, len(c.slowRing))
+	for i := len(c.slowRing) - 1; i >= 0; i-- {
+		out = append(out, c.slowRing[i])
+	}
+	return out
+}
+
 // logSlowQuery emits the structured one-line JSON record for a query
-// whose wall time reached the threshold.
-func (c *Cluster) logSlowQuery(src string, wallNs int64, res *Result, err error) {
+// whose wall time reached the threshold, and retains it in the slowlog
+// ring.
+func (c *Cluster) logSlowQuery(qid uint64, src string, wallNs int64, res *Result, err error) {
 	slowQueries.Inc()
+	rec := SlowQueryRecord{
+		QueryID: qid,
+		Time:    time.Now(),
+		WallNs:  wallNs,
+		Query:   truncateQuery(src),
+	}
+	if res != nil {
+		rec.PlanCacheHit = res.Stats.PlanCacheHit
+		rec.Rows = len(res.Rows)
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	c.slowMu.Lock()
+	c.slowRing = append(c.slowRing, rec)
+	if len(c.slowRing) > slowRingCap {
+		n := copy(c.slowRing, c.slowRing[len(c.slowRing)-slowRingCap:])
+		c.slowRing = c.slowRing[:n]
+	}
+	c.slowMu.Unlock()
+
 	kv := []any{
+		"query_id", qid,
 		"wall_ms", float64(wallNs) / 1e6,
 		"query", truncateQuery(src),
 	}

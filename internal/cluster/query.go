@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"path/filepath"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -12,12 +14,17 @@ import (
 	"simdb/internal/aqlp"
 	"simdb/internal/hyracks"
 	"simdb/internal/obs"
+	"simdb/internal/obs/trace"
 	"simdb/internal/optimizer"
 	"simdb/internal/storage"
 )
 
 // QueryStats reports one query's execution profile.
 type QueryStats struct {
+	// QueryID is the process-wide stable ID assigned at admission; the
+	// same ID stamps the trace, profile, slow-log line, spill directory,
+	// and any error payload.
+	QueryID uint64
 	// AdmissionNs is the time spent waiting for a QueryManager slot.
 	AdmissionNs int64
 	ParseNs     int64
@@ -169,14 +176,26 @@ func (c *Cluster) Execute(ctx context.Context, sess *Session, src string) (*Resu
 	}
 	t0 := time.Now()
 	queriesTotal.Inc()
+	// Every query gets a stable process-wide ID, a live-registry entry
+	// (GET /queries, CancelQuery), and a trace. The cancel func covers
+	// the whole lifecycle, so cancellation lands whether the query is
+	// still waiting for admission or already executing.
+	qid := trace.NextQueryID()
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	qr := c.registerQuery(qid, src, cancel)
 	// Admission charges the budget in effect at request entry; a `set
 	// memorybudget` inside this request applies from the next one.
-	qctx, release, admitNs, err := c.qm.admit(ctx, c.snapshotSession(sess).Opts.MemoryBudgetBytes)
+	qctx, release, admitNs, err := c.qm.admit(cctx, c.snapshotSession(sess).Opts.MemoryBudgetBytes)
 	if err != nil {
 		queryErrors.Inc()
+		err = &QueryError{QueryID: qid, Err: err}
+		c.unregisterQuery(qr, err)
 		return nil, err
 	}
-	res, err := c.execute(qctx, sess, src, admitNs)
+	qr.tr.SpanAt(trace.RootSpan, "admission", trace.CatPhase,
+		time.Now().Add(-time.Duration(admitNs)), time.Duration(admitNs))
+	res, err := c.execute(qctx, sess, src, admitNs, qr)
 	// release classifies the error: a per-query deadline kill comes back
 	// wrapped in ErrQueryTimeout.
 	err = release(err)
@@ -184,61 +203,89 @@ func (c *Cluster) Execute(ctx context.Context, sess *Session, src string) (*Resu
 	queryLatency.Observe(wallNs)
 	if err != nil {
 		queryErrors.Inc()
+		err = &QueryError{QueryID: qid, Err: err}
 	}
+	if res != nil {
+		res.Stats.QueryID = qid
+		if res.Profile != nil {
+			res.Profile.QueryID = qid
+		}
+	}
+	c.unregisterQuery(qr, err)
 	if th := c.slowThresh.Load(); th > 0 && wallNs >= th {
-		c.logSlowQuery(src, wallNs, res, err)
+		c.logSlowQuery(qid, src, wallNs, res, err)
 	}
 	return res, err
 }
 
+// isExplainRequest reports whether normalized request text carries a
+// leading `explain` keyword, before any parse happens. Explain requests
+// bypass the plan cache on both lookup and store: a cached plan replay
+// would lose the explain rendering.
+func isExplainRequest(norm string) bool {
+	return norm == "explain" || strings.HasPrefix(norm, "explain ") || strings.HasPrefix(norm, "explain(")
+}
+
 // execute runs one admitted request: plan-cache fast path, else
 // parse → statements → compile (+ cache store) → run.
-func (c *Cluster) execute(ctx context.Context, sess *Session, src string, admitNs int64) (*Result, error) {
+func (c *Cluster) execute(ctx context.Context, sess *Session, src string, admitNs int64, qr *queryRun) (*Result, error) {
+	norm := normalizeAQL(src)
 	key := planKey{
-		text:         normalizeAQL(src),
+		text:         norm,
 		dataverse:    sess.Dataverse,
 		simFunction:  sess.SimFunction,
 		simThreshold: sess.SimThreshold,
 		profile:      sess.Profile,
 		opts:         c.snapshotSession(sess).Opts,
 	}
+	explain := isExplainRequest(norm)
 	// Epoch is read before the lookup AND before any compile below: an
 	// entry stored under this epoch can never reflect catalog state
 	// newer than what its key claims, so DDL invalidation is sound.
 	epoch := c.Catalog.Epoch()
-	if e, ok := c.planCache.get(key, epoch); ok {
-		// Warm hit: skip parse, translate, and optimize entirely. Replay
-		// the request's session effects (use/set), then execute a private
-		// deep copy of the cached plan.
-		sess.Dataverse = e.post.Dataverse
-		sess.SimFunction = e.post.SimFunction
-		sess.SimThreshold = e.post.SimThreshold
-		sess.Profile = e.post.Profile
-		sess.MemoryBudget = e.post.MemoryBudget
-		stats := &QueryStats{
-			AdmissionNs:         admitNs,
-			PlanCacheHit:        true,
-			PlanOps:             e.planOps,
-			LogicalPlan:         e.logicalPlan,
-			RuleTrace:           append([]string(nil), e.ruleTrace...),
-			CornerCaseFallbacks: e.cornerCases,
+	if !explain {
+		qr.setPhase(phasePlanCache)
+		lookup := qr.tr.StartSpan(trace.RootSpan, "plan-cache", trace.CatPhase)
+		e, ok := c.planCache.get(key, epoch)
+		lookup.End(trace.S("outcome", cacheOutcome(ok)))
+		if ok {
+			// Warm hit: skip parse, translate, and optimize entirely. Replay
+			// the request's session effects (use/set), then execute a private
+			// deep copy of the cached plan.
+			sess.Dataverse = e.post.Dataverse
+			sess.SimFunction = e.post.SimFunction
+			sess.SimThreshold = e.post.SimThreshold
+			sess.Profile = e.post.Profile
+			sess.MemoryBudget = e.post.MemoryBudget
+			stats := &QueryStats{
+				AdmissionNs:         admitNs,
+				PlanCacheHit:        true,
+				PlanOps:             e.planOps,
+				LogicalPlan:         e.logicalPlan,
+				RuleTrace:           append([]string(nil), e.ruleTrace...),
+				CornerCaseFallbacks: e.cornerCases,
+			}
+			sp := qr.tr.StartSpan(trace.RootSpan, "plan-copy", trace.CatPhase)
+			plan, _ := algebra.Copy(e.plan, &algebra.VarAlloc{})
+			sp.End()
+			return c.runJob(ctx, plan, stats, src, e.post.Profile, e.post.Opts.MemoryBudgetBytes, qr)
 		}
-		plan, _ := algebra.Copy(e.plan, &algebra.VarAlloc{})
-		return c.runJob(ctx, plan, stats, src, e.post.Profile, e.post.Opts.MemoryBudgetBytes)
 	}
 
+	qr.setPhase(phaseParse)
 	t0 := time.Now()
 	q, err := aqlp.Parse(src)
+	parseNs := time.Since(t0).Nanoseconds()
+	qr.tr.SpanAt(trace.RootSpan, "parse", trace.CatPhase, t0, time.Duration(parseNs))
 	if err != nil {
 		return nil, err
 	}
-	parseNs := time.Since(t0).Nanoseconds()
 
 	// Only requests whose statements are all session-scoped (use/set)
 	// are cacheable: their full effect is captured by the key's entry
 	// state and the entry's recorded post state. DDL and other
 	// statements bypass the cache (and bump the catalog epoch).
-	cacheable := true
+	cacheable := !q.Explain
 	for _, stmt := range q.Stmts {
 		switch stmt.(type) {
 		case aqlp.UseStmt, aqlp.SetStmt:
@@ -250,16 +297,38 @@ func (c *Cluster) execute(ctx context.Context, sess *Session, src string, admitN
 		}
 	}
 	if q.Body == nil {
+		if q.Explain {
+			return nil, fmt.Errorf("cluster: explain needs a query body")
+		}
 		return &Result{Stats: QueryStats{AdmissionNs: admitNs, ParseNs: parseNs}}, nil
 	}
 
+	qr.setPhase(phaseCompile)
 	st := c.snapshotSession(sess)
+	if q.Analyze {
+		// explain analyze always measures: force span collection for this
+		// run without flipping the session's profile setting.
+		st.Profile = true
+	}
+	compileSpan := qr.tr.StartSpan(trace.RootSpan, "compile", trace.CatPhase)
 	plan, stats, err := c.compileState(st, q.Body)
 	if err != nil {
+		compileSpan.End(trace.S("error", err.Error()))
 		return nil, err
 	}
+	compileSpan.End(
+		trace.I("translate_ns", stats.TranslateNs),
+		trace.I("optimize_ns", stats.OptimizeNs),
+		trace.I("plan_ops", int64(stats.PlanOps)),
+	)
 	stats.ParseNs = parseNs
 	stats.AdmissionNs = admitNs
+
+	if q.Explain && !q.Analyze {
+		// Bare explain: compile only, rows are the optimized plan text.
+		stats.QueryID = qr.id
+		return &Result{Rows: planRows(stats.LogicalPlan), Stats: *stats}, nil
+	}
 
 	if cacheable && c.planCache.Enabled() {
 		cached, _ := algebra.Copy(plan, &algebra.VarAlloc{})
@@ -274,7 +343,33 @@ func (c *Cluster) execute(ctx context.Context, sess *Session, src string, admitN
 			cornerCases: stats.CornerCaseFallbacks,
 		})
 	}
-	return c.runJob(ctx, plan, stats, src, st.Profile, st.Opts.MemoryBudgetBytes)
+	res, err := c.runJob(ctx, plan, stats, src, st.Profile, st.Opts.MemoryBudgetBytes, qr)
+	if err == nil && q.Analyze {
+		res.Stats.QueryID = qr.id
+		if res.Profile != nil {
+			res.Profile.QueryID = qr.id
+		}
+		res.Rows = explainAnalyzeRows(res)
+	}
+	return res, err
+}
+
+// cacheOutcome labels a plan-cache lookup span.
+func cacheOutcome(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// planRows renders a plan text as one result row per line.
+func planRows(plan string) []adm.Value {
+	lines := strings.Split(strings.TrimRight(plan, "\n"), "\n")
+	rows := make([]adm.Value, len(lines))
+	for i, l := range lines {
+		rows[i] = adm.NewString(l)
+	}
+	return rows
 }
 
 func (c *Cluster) executeStmt(sess *Session, stmt aqlp.Stmt) error {
@@ -414,7 +509,8 @@ func (c *Cluster) compileState(st sessionState, body aqlp.Node) (*algebra.Op, *Q
 // memory accountant with a per-query spill directory; the directory is
 // removed before returning on every path (success, error, cancel,
 // timeout, panic).
-func (c *Cluster) runJob(ctx context.Context, plan *algebra.Op, stats *QueryStats, src string, profile bool, memBudget int64) (*Result, error) {
+func (c *Cluster) runJob(ctx context.Context, plan *algebra.Op, stats *QueryStats, src string, profile bool, memBudget int64, qr *queryRun) (*Result, error) {
+	qr.setPhase(phaseJobGen)
 	counters := &QueryCounters{}
 	t0 := time.Now()
 	job, collector, err := c.GenerateJob(plan, counters)
@@ -422,6 +518,7 @@ func (c *Cluster) runJob(ctx context.Context, plan *algebra.Op, stats *QueryStat
 		return nil, fmt.Errorf("%w\nplan:\n%s", err, stats.LogicalPlan)
 	}
 	stats.JobGenNs = time.Since(t0).Nanoseconds()
+	qr.tr.SpanAt(trace.RootSpan, "jobgen", trace.CatPhase, t0, time.Duration(stats.JobGenNs))
 
 	topo := hyracks.Topology{
 		Partitions:      c.cfg.Partitions(),
@@ -431,13 +528,33 @@ func (c *Cluster) runJob(ctx context.Context, plan *algebra.Op, stats *QueryStat
 	}
 	if acct := hyracks.NewMemoryAccountant(memBudget); acct != nil {
 		spill := storage.NewRunFileManager(
-			filepath.Join(c.spillTmpRoot(), fmt.Sprintf("q%d", c.querySeq.Add(1))))
+			filepath.Join(c.spillTmpRoot(), fmt.Sprintf("q%d", qr.id)))
 		defer spill.Close()
 		topo.Mem = acct
 		topo.Spill = spill
 		stats.MemBudget = acct.Budget()
+		if qr.aq != nil {
+			qr.aq.mem.Store(acct)
+		}
 	}
-	jstats, err := hyracks.Run(ctx, job, topo)
+	qr.setPhase(phaseExecute)
+	execSpan := qr.tr.StartSpan(trace.RootSpan, "execute", trace.CatPhase)
+	topo.Trace = qr.tr
+	topo.TraceParent = execSpan.ID
+	// Executor goroutines inherit the query_id pprof label, so CPU and
+	// goroutine profiles attribute work to specific queries.
+	var jstats *hyracks.JobStats
+	pprof.Do(ctx, pprof.Labels("query_id", strconv.FormatUint(qr.id, 10)), func(ctx context.Context) {
+		jstats, err = hyracks.Run(ctx, job, topo)
+	})
+	if jstats != nil {
+		execSpan.End(
+			trace.I("bytes_shuffled", jstats.BytesShuffled),
+			trace.I("net_messages", jstats.NetMessages),
+		)
+	} else {
+		execSpan.End()
+	}
 	if topo.Mem != nil {
 		stats.MemHighWater = topo.Mem.HighWater()
 		stats.SpillRuns, stats.SpilledBytes = jstats.SpillTotals()

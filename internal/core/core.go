@@ -28,6 +28,7 @@ import (
 	"simdb/internal/algebra"
 	"simdb/internal/aqlp"
 	"simdb/internal/cluster"
+	"simdb/internal/debugsrv"
 	"simdb/internal/invindex"
 	"simdb/internal/obs"
 	"simdb/internal/optimizer"
@@ -92,11 +93,17 @@ type Config struct {
 	// "columnar" (default) or "row". Reading is version-agnostic, so
 	// the setting can change between runs on existing data.
 	StorageFormat string
+	// DebugAddr, when set (e.g. "localhost:6060" or ":0" for an
+	// ephemeral port), starts the introspection HTTP server: /metrics
+	// (Prometheus), /queries (+ cancel), /traces, /slowlog, and
+	// /debug/pprof. Empty (the default) starts no listener.
+	DebugAddr string
 }
 
 // Database is an open SimDB instance.
 type Database struct {
-	c *cluster.Cluster
+	c   *cluster.Cluster
+	dbg *debugsrv.Server
 }
 
 // Result is a query result: one ADM value per row plus the execution
@@ -153,11 +160,39 @@ func Open(cfg Config) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Database{c: c}, nil
+	db := &Database{c: c}
+	if cfg.DebugAddr != "" {
+		db.dbg, err = debugsrv.Start(cfg.DebugAddr, c)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return db, nil
 }
 
-// Close shuts the database down, flushing in-memory components.
-func (db *Database) Close() error { return db.c.Close() }
+// Close shuts the database down, flushing in-memory components and
+// draining the debug listener (if one was started).
+func (db *Database) Close() error {
+	if db.dbg != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := db.dbg.Shutdown(ctx); err != nil {
+			obs.Log().Error("debug server shutdown failed", "err", err)
+		}
+		db.dbg = nil
+	}
+	return db.c.Close()
+}
+
+// DebugAddr returns the introspection server's bound address ("" when
+// Config.DebugAddr was unset). With ":0" this resolves the real port.
+func (db *Database) DebugAddr() string {
+	if db.dbg == nil {
+		return ""
+	}
+	return db.dbg.Addr()
+}
 
 // Cluster exposes the underlying simulated cluster for advanced use
 // (index statistics, per-node cache counters, direct job generation).

@@ -1,0 +1,290 @@
+package debugsrv_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"simdb/internal/core"
+)
+
+// openDB boots a database with the introspection server on an
+// ephemeral port and a little data to query.
+func openDB(t *testing.T) (*core.Database, string) {
+	t.Helper()
+	db, err := core.Open(core.Config{
+		DataDir:           t.TempDir(),
+		NumNodes:          1,
+		PartitionsPerNode: 1,
+		DebugAddr:         "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	addr := db.DebugAddr()
+	if addr == "" {
+		t.Fatal("DebugAddr empty after Open with DebugAddr set")
+	}
+	db.MustExecute(`create dataset Reviews primary key id;`)
+	for i := 1; i <= 5; i++ {
+		if err := db.InsertJSON("Reviews", fmt.Sprintf(`{"id": %d, "summary": "great product %d"}`, i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, "http://" + addr
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	db, base := openDB(t)
+	if _, err := db.Query(`for $r in dataset Reviews return $r.id`); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if err := validatePrometheus(body); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"simdb_cluster_queries ",
+		"# TYPE simdb_cluster_query_latency_ns summary",
+		`simdb_cluster_query_latency_ns{quantile="0.99"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("missing %q in /metrics", want)
+		}
+	}
+}
+
+// validatePrometheus is a minimal text-exposition (0.0.4) parser:
+// every non-comment line must be `name[{labels}] value`, every TYPE
+// comment must precede its samples, and label values must be quoted
+// with only valid escapes.
+func validatePrometheus(body string) error {
+	typed := map[string]bool{}
+	for ln, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				return fmt.Errorf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "summary", "histogram", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown type %q", ln+1, parts[3])
+			}
+			typed[parts[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			return fmt.Errorf("line %d: unknown comment %q", ln+1, line)
+		}
+		name, rest, ok := splitSample(line)
+		if !ok {
+			return fmt.Errorf("line %d: malformed sample %q", ln+1, line)
+		}
+		for i := 0; i < len(name); i++ {
+			c := name[i]
+			valid := c == '_' || c == ':' ||
+				(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+				(i > 0 && c >= '0' && c <= '9')
+			if !valid {
+				return fmt.Errorf("line %d: invalid metric name %q", ln+1, name)
+			}
+		}
+		var v float64
+		if _, err := fmt.Sscanf(rest, "%g", &v); err != nil {
+			return fmt.Errorf("line %d: bad value %q: %v", ln+1, rest, err)
+		}
+	}
+	if len(typed) == 0 {
+		return fmt.Errorf("no TYPE lines")
+	}
+	return nil
+}
+
+// splitSample splits `name{labels} value` or `name value`, validating
+// label quoting.
+func splitSample(line string) (name, value string, ok bool) {
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", "", false
+		}
+		labels := line[i+1 : j]
+		// every label must be k="v" with escaped quotes inside
+		for _, kv := range strings.Split(labels, ",") {
+			eq := strings.IndexByte(kv, '=')
+			if eq < 1 {
+				return "", "", false
+			}
+			v := kv[eq+1:]
+			if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				return "", "", false
+			}
+			inner := v[1 : len(v)-1]
+			for k := 0; k < len(inner); k++ {
+				if inner[k] == '\\' {
+					if k+1 >= len(inner) {
+						return "", "", false
+					}
+					switch inner[k+1] {
+					case '\\', '"', 'n':
+						k++
+					default:
+						return "", "", false
+					}
+				} else if inner[k] == '"' {
+					return "", "", false
+				}
+			}
+		}
+		return line[:i], strings.TrimSpace(line[j+1:]), true
+	}
+	sp := strings.IndexByte(line, ' ')
+	if sp < 0 {
+		return "", "", false
+	}
+	return line[:sp], strings.TrimSpace(line[sp+1:]), true
+}
+
+func TestQueriesTracesAndSlowlog(t *testing.T) {
+	db, base := openDB(t)
+	db.SetSlowQueryThreshold(time.Nanosecond)
+	db.Cluster().SetSlowQueryLogOutput(io.Discard)
+	res, err := db.Query(`for $r in dataset Reviews return $r.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qid := res.Stats.QueryID
+
+	code, body := get(t, base+"/queries")
+	if code != http.StatusOK {
+		t.Fatalf("/queries status %d", code)
+	}
+	var active []map[string]any
+	if err := json.Unmarshal([]byte(body), &active); err != nil {
+		t.Fatalf("/queries not JSON: %v", err)
+	}
+
+	code, body = get(t, base+"/traces")
+	if code != http.StatusOK {
+		t.Fatalf("/traces status %d", code)
+	}
+	if !strings.Contains(body, fmt.Sprintf(`"id": %d`, qid)) {
+		t.Fatalf("/traces missing query %d:\n%s", qid, body)
+	}
+
+	code, body = get(t, fmt.Sprintf("%s/traces/%d", base, qid))
+	if code != http.StatusOK {
+		t.Fatalf("/traces/{id} status %d", code)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("trace export not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace export empty")
+	}
+
+	if code, _ := get(t, base+"/traces/999999999"); code != http.StatusNotFound {
+		t.Fatalf("missing trace status %d, want 404", code)
+	}
+
+	code, body = get(t, base+"/slowlog")
+	if code != http.StatusOK {
+		t.Fatalf("/slowlog status %d", code)
+	}
+	if !strings.Contains(body, fmt.Sprintf(`"query_id": %d`, qid)) {
+		t.Fatalf("/slowlog missing query %d:\n%s", qid, body)
+	}
+}
+
+func TestCancelEndpoint(t *testing.T) {
+	_, base := openDB(t)
+	// Cancel of an unknown query is a 404; bad IDs are a 400.
+	resp, err := http.Post(base+"/queries/424242/cancel", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cancel unknown: status %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Post(base+"/queries/nope/cancel", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("cancel bad id: status %d, want 400", resp.StatusCode)
+	}
+	// GET on the cancel route must not cancel (method-scoped pattern).
+	resp, err = http.Get(base + "/queries/424242/cancel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("GET on cancel route succeeded")
+	}
+}
+
+func TestPprofEndpoint(t *testing.T) {
+	_, base := openDB(t)
+	code, body := get(t, base+"/debug/pprof/goroutine?debug=1")
+	if code != http.StatusOK {
+		t.Fatalf("pprof status %d", code)
+	}
+	if !strings.Contains(body, "goroutine profile:") {
+		t.Fatalf("unexpected pprof payload:\n%.200s", body)
+	}
+}
+
+func TestGracefulShutdownDrainsListener(t *testing.T) {
+	db, base := openDB(t)
+	addr := strings.TrimPrefix(base, "http://")
+	if code, _ := get(t, base+"/metrics"); code != http.StatusOK {
+		t.Fatal("server not serving before shutdown")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The port must be released: new connections are refused.
+	if _, err := net.DialTimeout("tcp", addr, time.Second); err == nil {
+		t.Fatal("listener still accepting after Close")
+	}
+}

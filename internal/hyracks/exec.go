@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"simdb/internal/obs"
+	"simdb/internal/obs/trace"
 )
 
 // OpStats is the per-operator aggregate over all instances. BusyNs,
@@ -307,6 +308,12 @@ func Run(ctx context.Context, job *Job, topo Topology) (*JobStats, error) {
 					})
 				}
 				statsMu.Unlock()
+				topo.Trace.SpanAtOn(topo.TraceParent, n.Name, trace.CatOperator,
+					node, p, t0, time.Duration(wall),
+					trace.I("busy_ns", busy),
+					trace.I("tuples_in", tuplesIn),
+					trace.I("tuples_out", tuplesOut),
+				)
 				if err != nil {
 					fail(fmt.Errorf("%s[%d]: %w", n.Name, p, err))
 				}

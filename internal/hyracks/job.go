@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"simdb/internal/adm"
+	"simdb/internal/obs/trace"
 	"simdb/internal/storage"
 )
 
@@ -154,6 +155,12 @@ type Topology struct {
 	// default: per-instance aggregation always happens, spans only when
 	// a profile was requested.
 	CollectSpans bool
+	// Trace, when non-nil, receives one operator-instance span per task
+	// under parent TraceParent (the query's "execute" phase span). Unlike
+	// CollectSpans this is always on when the cluster traces queries;
+	// recording costs one mutex append per instance.
+	Trace       *trace.Trace
+	TraceParent int32
 	// Mem, when non-nil, enforces a query-wide memory budget on blocking
 	// operators (shared by all instances of all operators in the job).
 	Mem *MemoryAccountant

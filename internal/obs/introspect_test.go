@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSnapshotConcurrentWithObserve hammers a registry with counter
+// increments, gauge sets, and histogram observations while snapshots
+// are taken concurrently; run under -race this proves Snapshot never
+// tears against the hot-path atomics.
+func TestSnapshotConcurrentWithObserve(t *testing.T) {
+	r := NewRegistry()
+	const writers = 4
+	const perWriter = 5000
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("test.counter")
+			g := r.Gauge("test.gauge")
+			h := r.Histogram("test.hist")
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(int64(i % 1000))
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		s := r.Snapshot()
+		if got := s.Counters["test.counter"]; got > writers*perWriter {
+			t.Fatalf("counter overshoot: %d", got)
+		}
+		if h, ok := s.Histograms["test.hist"]; ok && h.Count > 0 && h.Max > 999 {
+			t.Fatalf("histogram max %d beyond largest observation", h.Max)
+		}
+		select {
+		case <-done:
+			s := r.Snapshot()
+			if got := s.Counters["test.counter"]; got != writers*perWriter {
+				t.Fatalf("counter = %d, want %d", got, writers*perWriter)
+			}
+			if got := s.Histograms["test.hist"].Count; got != int64(writers*perWriter) {
+				t.Fatalf("histogram count = %d, want %d", got, writers*perWriter)
+			}
+			return
+		default:
+		}
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := newHistogram()
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram p50 = %d, want 0", got)
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Min != 0 || s.Max != 0 || s.P99 != 0 {
+		t.Fatalf("empty snapshot not all-zero: %+v", s)
+	}
+}
+
+func TestHistogramSingleObservation(t *testing.T) {
+	h := newHistogram()
+	h.Observe(12345)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != 12345 {
+		t.Fatalf("count/sum = %d/%d, want 1/12345", s.Count, s.Sum)
+	}
+	if s.Min != 12345 || s.Max != 12345 {
+		t.Fatalf("min/max = %d/%d, want 12345/12345", s.Min, s.Max)
+	}
+	// Every quantile of a single observation is that observation: the
+	// bucket upper bound is clamped to the observed max.
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(p); got != 12345 {
+			t.Fatalf("q%.2f = %d, want 12345", p, got)
+		}
+	}
+}
+
+func TestHistogramTopBucketOverflow(t *testing.T) {
+	h := newHistogram()
+	h.Observe(math.MaxInt64)
+	h.Observe(math.MaxInt64 - 1)
+	if got := h.Quantile(1); got != math.MaxInt64 {
+		t.Fatalf("p100 = %d, want MaxInt64", got)
+	}
+	if got := h.Quantile(0.5); got != math.MaxInt64 {
+		// Both land in the final clamped bucket, whose upper bound is
+		// capped at the observed max.
+		t.Fatalf("p50 = %d, want MaxInt64", got)
+	}
+	// The largest possible value must stay in range, and its bucket's
+	// upper bound must clamp to MaxInt64 rather than overflow.
+	idx := bucketOf(math.MaxInt64)
+	if idx < 0 || idx >= histBuckets {
+		t.Fatalf("bucketOf(MaxInt64) = %d out of range", idx)
+	}
+	if got := bucketUpper(histBuckets - 1); got != math.MaxInt64 {
+		t.Fatalf("bucketUpper(top) = %d, want MaxInt64", got)
+	}
+	if got := h.Snapshot().Max; got != math.MaxInt64 {
+		t.Fatalf("max = %d, want MaxInt64", got)
+	}
+}
+
+func TestHistogramNegativeClampsToZero(t *testing.T) {
+	h := newHistogram()
+	h.Observe(-42)
+	s := h.Snapshot()
+	if s.Min != 0 || s.Max != 0 || s.Sum != 0 || s.Count != 1 {
+		t.Fatalf("negative observation not clamped: %+v", s)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cluster.queries").Add(7)
+	r.Gauge("storage.disk.bytes").Set(1 << 20)
+	h := r.Histogram("cluster.query_latency_ns")
+	for i := 1; i <= 100; i++ {
+		h.Observe(int64(i) * 1000)
+	}
+
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP simdb_cluster_queries ",
+		"# TYPE simdb_cluster_queries counter\n",
+		"simdb_cluster_queries 7\n",
+		"# TYPE simdb_storage_disk_bytes gauge\n",
+		"simdb_storage_disk_bytes 1048576\n",
+		"# TYPE simdb_cluster_query_latency_ns summary\n",
+		`simdb_cluster_query_latency_ns{quantile="0.5"}`,
+		`simdb_cluster_query_latency_ns{quantile="0.99"}`,
+		"simdb_cluster_query_latency_ns_count 100\n",
+		"simdb_cluster_query_latency_ns_max ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	// Deterministic output for equal snapshots.
+	var b2 strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Error("WritePrometheus output not deterministic")
+	}
+}
+
+func TestPromNameAndEscaping(t *testing.T) {
+	if got := promName("cluster.query-latency.ns"); got != "simdb_cluster_query_latency_ns" {
+		t.Fatalf("promName = %q", got)
+	}
+	if got := promEscapeLabel("a\"b\\c\nd"); got != `a\"b\\c\nd` {
+		t.Fatalf("promEscapeLabel = %q", got)
+	}
+	if got := promEscapeHelp("x\\y\nz"); got != `x\\y\nz` {
+		t.Fatalf("promEscapeHelp = %q", got)
+	}
+}

@@ -75,6 +75,9 @@ type SimilarityProfile struct {
 // QueryProfile is the full runtime profile of one query execution, the
 // PROFILE / EXPLAIN ANALYZE payload.
 type QueryProfile struct {
+	// QueryID is the stable process-wide query ID, matching the query's
+	// trace, slow-log line, and pprof labels.
+	QueryID     uint64            `json:"query_id,omitempty"`
 	Query       string            `json:"query"`
 	Compile     CompileProfile    `json:"compile"`
 	ExecNs      int64             `json:"exec_ns"`

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format (version 0.0.4): every counter and gauge becomes one sample,
+// every histogram a summary (p50/p95/p99 quantile samples plus _sum and
+// _count) with _min/_max gauges alongside. Dotted SimDB metric names
+// map to a "simdb_" prefix with dots replaced by underscores, so
+// "cluster.query_latency_ns" scrapes as
+// simdb_cluster_query_latency_ns. Output is sorted by metric name and
+// deterministic for equal snapshot contents.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	type line struct {
+		name string
+		text string
+	}
+	var lines []line
+
+	for name, v := range s.Counters {
+		pn := promName(name)
+		lines = append(lines, line{pn, fmt.Sprintf(
+			"# HELP %s SimDB counter %s\n# TYPE %s counter\n%s %d\n",
+			pn, promEscapeHelp(name), pn, pn, v)})
+	}
+	for name, v := range s.Gauges {
+		pn := promName(name)
+		lines = append(lines, line{pn, fmt.Sprintf(
+			"# HELP %s SimDB gauge %s\n# TYPE %s gauge\n%s %d\n",
+			pn, promEscapeHelp(name), pn, pn, v)})
+	}
+	for name, h := range s.Histograms {
+		pn := promName(name)
+		var b strings.Builder
+		fmt.Fprintf(&b, "# HELP %s SimDB histogram %s\n# TYPE %s summary\n",
+			pn, promEscapeHelp(name), pn)
+		for _, q := range []struct {
+			q string
+			v int64
+		}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}} {
+			fmt.Fprintf(&b, "%s{quantile=\"%s\"} %d\n", pn, promEscapeLabel(q.q), q.v)
+		}
+		fmt.Fprintf(&b, "%s_sum %d\n%s_count %d\n", pn, h.Sum, pn, h.Count)
+		fmt.Fprintf(&b, "# TYPE %s_min gauge\n%s_min %d\n", pn, pn, h.Min)
+		fmt.Fprintf(&b, "# TYPE %s_max gauge\n%s_max %d\n", pn, pn, h.Max)
+		lines = append(lines, line{pn, b.String()})
+	}
+
+	sort.Slice(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
+	for _, l := range lines {
+		if _, err := io.WriteString(w, l.text); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps a dotted SimDB metric name to a valid Prometheus
+// metric name: [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 6)
+	b.WriteString("simdb_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promEscapeHelp escapes a HELP line value: backslash and newline.
+func promEscapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// promEscapeLabel escapes a label value: backslash, double quote,
+// newline.
+func promEscapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

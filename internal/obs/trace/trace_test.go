@@ -1,0 +1,249 @@
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceSpansAndRing(t *testing.T) {
+	tc := NewTracer(2)
+	tr := tc.Start(1, "for $r in dataset R return $r")
+	if tr == nil {
+		t.Fatal("Start returned nil with tracing enabled")
+	}
+	sp := tr.StartSpan(RootSpan, "parse", CatPhase)
+	sp.End(I("tokens", 12))
+	tr.SpanAtOn(RootSpan, "DataScan", CatOperator, 1, 3, tr.Start, time.Millisecond, I("tuples_out", 10))
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "parse" || spans[0].Cat != CatPhase {
+		t.Fatalf("span 0 = %+v", spans[0])
+	}
+	if spans[1].Node != 1 || spans[1].Part != 3 {
+		t.Fatalf("operator span placement = node %d part %d", spans[1].Node, spans[1].Part)
+	}
+
+	if len(tc.Active()) != 1 {
+		t.Fatalf("active = %d, want 1", len(tc.Active()))
+	}
+	tr.Finish(errors.New("boom"))
+	if tr.Err() != "boom" || !tr.Done() {
+		t.Fatalf("finish: err=%q done=%v", tr.Err(), tr.Done())
+	}
+	tr.Finish(nil) // double finish is a no-op
+	if tr.Err() != "boom" {
+		t.Fatal("double Finish overwrote the error")
+	}
+	if len(tc.Active()) != 0 || len(tc.Recent()) != 1 {
+		t.Fatalf("retire: active=%d recent=%d", len(tc.Active()), len(tc.Recent()))
+	}
+
+	// Ring keeps only the newest `capacity` traces, newest first.
+	for id := uint64(2); id <= 4; id++ {
+		tc.Start(id, "q").Finish(nil)
+	}
+	recent := tc.Recent()
+	if len(recent) != 2 || recent[0].ID != 4 || recent[1].ID != 3 {
+		t.Fatalf("ring contents: %v", ids(recent))
+	}
+	if _, ok := tc.Get(1); ok {
+		t.Fatal("evicted trace still reachable")
+	}
+	if got, ok := tc.Get(4); !ok || got.ID != 4 {
+		t.Fatal("Get(4) failed")
+	}
+}
+
+func ids(ts []*Trace) []uint64 {
+	out := make([]uint64, len(ts))
+	for i, tr := range ts {
+		out[i] = tr.ID
+	}
+	return out
+}
+
+func TestTracerDisabledIsNilSafe(t *testing.T) {
+	tc := NewTracer(4)
+	tc.SetEnabled(false)
+	tr := tc.Start(9, "q")
+	if tr != nil {
+		t.Fatal("Start should return nil when disabled")
+	}
+	// Every Trace method must tolerate the nil receiver.
+	tr.StartSpan(RootSpan, "x", CatPhase).End()
+	tr.SpanAt(RootSpan, "y", CatPhase, time.Now(), time.Millisecond)
+	tr.Finish(nil)
+	if tr.Spans() != nil {
+		t.Fatal("nil trace returned spans")
+	}
+	tc.Event("flush", CatStorage, "dir", time.Now(), time.Millisecond)
+	if len(tc.Events()) != 0 {
+		t.Fatal("Event recorded while disabled")
+	}
+}
+
+func TestSpanCap(t *testing.T) {
+	tc := NewTracer(1)
+	tr := tc.Start(1, "q")
+	for i := 0; i < maxSpansPerTrace+50; i++ {
+		tr.SpanAt(RootSpan, "s", CatOperator, tr.Start, 0)
+	}
+	if got := len(tr.Spans()); got != maxSpansPerTrace {
+		t.Fatalf("spans = %d, want cap %d", got, maxSpansPerTrace)
+	}
+}
+
+func TestConcurrentSpanRecording(t *testing.T) {
+	tc := NewTracer(1)
+	tr := tc.Start(1, "q")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.SpanAtOn(RootSpan, "op", CatOperator, g, i, tr.Start, time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 800 {
+		t.Fatalf("spans = %d, want 800", got)
+	}
+	tr.Finish(nil)
+}
+
+func TestEventRingAndWindow(t *testing.T) {
+	tc := NewTracer(1)
+	base := time.Now()
+	tc.Event("flush", CatStorage, "tree-a", base, 10*time.Millisecond, I("bytes", 100))
+	tc.Event("wal-sync", CatWAL, "wal-0", base.Add(50*time.Millisecond), time.Millisecond)
+	tc.Event("merge", CatStorage, "tree-b", base.Add(time.Hour), time.Second)
+
+	in := tc.EventsBetween(base, base.Add(100*time.Millisecond))
+	if len(in) != 2 {
+		t.Fatalf("window events = %d, want 2", len(in))
+	}
+	// Ring bound: capacity is 4x trace capacity = 4.
+	for i := 0; i < 10; i++ {
+		tc.Event("flush", CatStorage, "t", base, 0)
+	}
+	if got := len(tc.Events()); got != 4 {
+		t.Fatalf("event ring = %d, want 4", got)
+	}
+}
+
+func TestNextQueryIDMonotonic(t *testing.T) {
+	a := NextQueryID()
+	b := NextQueryID()
+	if b <= a {
+		t.Fatalf("ids not increasing: %d then %d", a, b)
+	}
+}
+
+// TestChromeJSONShape validates the trace-event export: a JSON object
+// with a traceEvents array of "X"/"M" events carrying µs timestamps —
+// the exact shape Perfetto and about:tracing load.
+func TestChromeJSONShape(t *testing.T) {
+	tc := NewTracer(4)
+	tr := tc.Start(7, "for $r in dataset R return $r")
+	tr.SpanAt(RootSpan, "parse", CatPhase, tr.Start, 2*time.Millisecond)
+	exec := tr.SpanAt(RootSpan, "execute", CatPhase, tr.Start.Add(2*time.Millisecond), 8*time.Millisecond)
+	tr.SpanAtOn(exec, "DataScan", CatOperator, 0, 1, tr.Start.Add(3*time.Millisecond), 5*time.Millisecond,
+		I("tuples_out", 42))
+	tc.Event("wal-sync", CatWAL, "wal-0", tr.Start.Add(time.Millisecond), time.Millisecond, I("recs", 3))
+	tr.Finish(nil)
+
+	buf, err := tr.ChromeJSON(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	byName := map[string]int{}
+	var sawMeta, sawWAL bool
+	for _, e := range doc.TraceEvents {
+		byName[e.Name]++
+		switch e.Ph {
+		case "M":
+			sawMeta = true
+		case "X":
+			if e.Dur <= 0 {
+				t.Fatalf("complete event %q has dur %v", e.Name, e.Dur)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+		if e.Name == "wal-sync" {
+			sawWAL = true
+			if e.Pid != chromePidStorage {
+				t.Fatalf("wal event in pid %d, want storage pid", e.Pid)
+			}
+			if e.Args["key"] != "wal-0" {
+				t.Fatalf("wal event key = %v", e.Args["key"])
+			}
+		}
+		if e.Name == "DataScan" {
+			wantTid := operatorLaneBase + 0*operatorLaneStride + 1
+			if e.Tid != wantTid {
+				t.Fatalf("operator lane tid = %d, want %d", e.Tid, wantTid)
+			}
+		}
+	}
+	for _, want := range []string{"query", "parse", "execute", "DataScan"} {
+		if byName[want] == 0 {
+			t.Fatalf("missing %q event; have %v", want, byName)
+		}
+	}
+	if !sawMeta {
+		t.Fatal("no metadata (process/thread name) events")
+	}
+	if !sawWAL {
+		t.Fatal("overlapping WAL event not overlaid")
+	}
+	// The parse phase's timestamp must be µs-scaled (2ms span → dur 2000µs).
+	for _, e := range doc.TraceEvents {
+		if e.Name == "parse" && (e.Dur < 1900 || e.Dur > 2100) {
+			t.Fatalf("parse dur = %vµs, want ~2000", e.Dur)
+		}
+	}
+}
+
+func TestChromeJSONNilTrace(t *testing.T) {
+	var tr *Trace
+	if _, err := tr.ChromeJSON(nil); err == nil {
+		t.Fatal("nil trace should error")
+	}
+}
+
+func ExampleTrace_spans() {
+	tc := NewTracer(1)
+	tr := tc.Start(1, "q")
+	tr.SpanAt(RootSpan, "parse", CatPhase, tr.Start, time.Millisecond)
+	tr.Finish(nil)
+	fmt.Println(len(tr.Spans()))
+	// Output: 1
+}

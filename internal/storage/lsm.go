@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"simdb/internal/obs"
+	"simdb/internal/obs/trace"
 )
 
 // Process-wide storage event metrics: flush/merge/rotation counts and
@@ -948,6 +949,8 @@ func (t *LSMTree) writeMemtable(im *immMem) (*Component, error) {
 	flushCount.Inc()
 	flushNs.Observe(time.Since(start).Nanoseconds())
 	flushBytes.Observe(c.SizeBytes())
+	trace.Default().Event("flush", trace.CatStorage, t.dir, start, time.Since(start),
+		trace.I("bytes", c.SizeBytes()), trace.I("entries", c.Len()))
 	return c, nil
 }
 
@@ -1151,6 +1154,8 @@ func (t *LSMTree) mergeComponents(inputs []*Component, drop bool, delay func()) 
 	}
 	mergeCount.Inc()
 	mergeNs.Observe(time.Since(start).Nanoseconds())
+	trace.Default().Event("merge", trace.CatStorage, t.dir, start, time.Since(start),
+		trace.I("inputs", int64(len(inputs))), trace.I("bytes", c.SizeBytes()))
 	return firstErr
 }
 

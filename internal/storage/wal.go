@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"simdb/internal/obs"
+	"simdb/internal/obs/trace"
 )
 
 // Write-ahead-log metrics: appends/fsyncs expose the group-commit
@@ -927,12 +928,15 @@ func (w *WAL) syncerLoop() {
 		synced := false
 		w.sinceSync += recs
 		if err == nil && target > durable && written > durable {
+			syncStart := time.Now()
 			if serr := syncWALData(w.cur); serr != nil {
 				err = serr
 			} else {
 				synced = true
 				durable = written
 				walFsyncs.Inc()
+				trace.Default().Event("wal-sync", trace.CatWAL, w.dir,
+					syncStart, time.Since(syncStart), trace.I("recs", int64(w.sinceSync)))
 				if w.sinceSync > 0 {
 					walGroupSize.Observe(int64(w.sinceSync))
 					w.sinceSync = 0
