@@ -26,6 +26,15 @@ func NewEnv(cols map[Var]int, row []adm.Value) *Env {
 	return &Env{Cols: cols, Row: row}
 }
 
+// Reset rebinds the environment to a new tuple and drops any leftover
+// comprehension bindings, so one Env can be reused across tuples
+// instead of allocating per call. An Env is single-goroutine; operator
+// instances each own one.
+func (e *Env) Reset(row []adm.Value) {
+	e.Row = row
+	e.names = e.names[:0]
+}
+
 // bindName pushes a comprehension binding; the caller must pop it with
 // unbind.
 func (e *Env) bindName(name string, v adm.Value) {

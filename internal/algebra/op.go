@@ -144,6 +144,17 @@ type Op struct {
 	// selects to the vectorized verify operator, which tokenizes the
 	// query once per instance and checks candidates in batches.
 	BatchVerify bool
+	// FusedAssignVars/FusedAssignExprs, on OpSelect, hold an Assign the
+	// specialization pass folded into the select: the evaluator computes
+	// these bindings and the condition in one pass over each tuple. The
+	// fused vars append to the select's output schema exactly where the
+	// standalone assign would have put them.
+	FusedAssignVars  []Var
+	FusedAssignExprs []Expr
+	// Compiled marks an operator whose expressions the specialization
+	// pass cleared for closure compilation; job generation resolves
+	// algebra.Compile evaluators for it and EXPLAIN annotates it.
+	Compiled bool
 
 	// OpJoin physical choice
 	Phys      JoinPhys
@@ -206,6 +217,8 @@ func (o *Op) DefinedVars() []Var {
 	switch o.Kind {
 	case OpScan:
 		return []Var{o.PKVar, o.RecVar}
+	case OpSelect:
+		return append([]Var(nil), o.FusedAssignVars...)
 	case OpAssign:
 		return append([]Var(nil), o.AssignVars...)
 	case OpUnnest:
@@ -250,6 +263,9 @@ func (o *Op) UsedExprs() []Expr {
 	}
 	add(o.Cond)
 	for _, e := range o.AssignExprs {
+		add(e)
+	}
+	for _, e := range o.FusedAssignExprs {
 		add(e)
 	}
 	for _, e := range o.JoinLeftKeys {
@@ -423,6 +439,8 @@ func Copy(root *Op, alloc *VarAlloc) (*Op, map[Var]Var) {
 		}
 		c.AssignVars = remapVars(o.AssignVars, varMap)
 		c.AssignExprs = substAll(o.AssignExprs, varMap)
+		c.FusedAssignVars = remapVars(o.FusedAssignVars, varMap)
+		c.FusedAssignExprs = substAll(o.FusedAssignExprs, varMap)
 		c.JoinLeftKeys = substAll(o.JoinLeftKeys, varMap)
 		c.JoinRightKeys = substAll(o.JoinRightKeys, varMap)
 		c.Vars = remapVars(o.Vars, varMap)
@@ -498,7 +516,11 @@ func Print(root *Op) string {
 		}
 		ids[o] = next
 		next++
-		fmt.Fprintf(&b, "%s#%d %s%s\n", indent, ids[o], o.Kind, opDetail(o))
+		mark := ""
+		if o.Compiled {
+			mark = " [compiled]"
+		}
+		fmt.Fprintf(&b, "%s#%d %s%s%s\n", indent, ids[o], o.Kind, opDetail(o), mark)
 		for _, in := range o.Inputs {
 			rec(in, depth+1)
 		}
@@ -519,6 +541,13 @@ func opDetail(o *Op) string {
 		d := fmt.Sprintf(" (%s)", o.Cond)
 		if o.Kind == OpJoin && o.Phys != JoinPhysUnset {
 			d += fmt.Sprintf(" [phys=%d build=%d]", o.Phys, o.BuildSide)
+		}
+		if o.Kind == OpSelect && len(o.FusedAssignVars) > 0 {
+			parts := make([]string, len(o.FusedAssignVars))
+			for i := range o.FusedAssignVars {
+				parts[i] = fmt.Sprintf("%v := %s", o.FusedAssignVars[i], o.FusedAssignExprs[i])
+			}
+			d += fmt.Sprintf(" [fused-assign %s]", strings.Join(parts, ", "))
 		}
 		if o.Kind == OpSelect && o.BatchVerify {
 			d += " [batched]"

@@ -1,0 +1,53 @@
+package cluster
+
+import (
+	"simdb/internal/adm"
+	"simdb/internal/algebra"
+	"simdb/internal/hyracks"
+	"simdb/internal/obs"
+)
+
+// tupleEval evaluates one scalar expression over a tuple.
+type tupleEval func(t hyracks.Tuple) (adm.Value, error)
+
+// evaluatorCompiles counts expressions resolved to compiled closures at
+// job-generation time (specialized plans only).
+var evaluatorCompiles = obs.C("cluster.evaluator.compiles")
+
+// evalFactory resolves an expression into a per-operator-instance
+// evaluator factory at job-generation time.
+//
+// When compiled is set — the optimizer's specialization pass marked the
+// operator — the expression compiles once here into a pure closure
+// (column slots resolved, constants folded, hot forms fused) that every
+// instance shares. Otherwise, or when the compiler declines, each
+// instance gets the tree interpreter with one Env allocated up front
+// and reset per tuple: operator closures are shared across partitions,
+// so the mutable Env must be per-instance state, but it need not be
+// per-tuple.
+func evalFactory(e algebra.Expr, cols map[algebra.Var]int, compiled bool) func() tupleEval {
+	if compiled {
+		if fn, ok := algebra.Compile(e, cols); ok {
+			evaluatorCompiles.Inc()
+			shared := tupleEval(func(t hyracks.Tuple) (adm.Value, error) { return fn(t) })
+			return func() tupleEval { return shared }
+		}
+	}
+	return func() tupleEval {
+		env := algebra.NewEnv(cols, nil)
+		return func(t hyracks.Tuple) (adm.Value, error) {
+			env.Reset(t)
+			return algebra.Eval(e, env)
+		}
+	}
+}
+
+// compiledMark suffixes physical operator names of specialized
+// operators, so EXPLAIN ANALYZE's operator table shows which operators
+// run compiled evaluators.
+func compiledMark(name string, op *algebra.Op) string {
+	if op.Compiled {
+		return name + "[compiled]"
+	}
+	return name
+}

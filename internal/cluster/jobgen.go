@@ -258,13 +258,20 @@ func scanFields(project []string, pkField string) []string {
 	return dedup
 }
 
+// selectState is the per-instance state of a (possibly fused) select:
+// the fused-assign evaluators run first, extending the tuple, then the
+// condition evaluator decides. For specialized plans the evaluators are
+// shared compiled closures; otherwise each is a reused interpreter Env.
+type selectState struct {
+	fused []tupleEval
+	cond  tupleEval
+}
+
 func (g *jobGen) genSelect(op *algebra.Op) (*genOut, error) {
 	in, err := g.gen(op.Inputs[0])
 	if err != nil {
 		return nil, err
 	}
-	cols := colMap(in.schema)
-	cond := op.Cond
 	// The first Select above an index subtree is the global verification
 	// of the paper's index plans: its survivors are the true results
 	// among the T-occurrence candidates. Output tuples here are few, so
@@ -276,15 +283,46 @@ func (g *jobGen) genSelect(op *algebra.Op) (*genOut, error) {
 		name = "Select(verify)"
 	}
 	if op.BatchVerify {
-		if fn, ok := batchedVerifyOp(cond, cols, verifier, counters); ok {
-			node := g.job.Add(name+"[batched]", in.parts, fn,
+		cols := colMap(in.schema)
+		if fn, ok := batchedVerifyOp(op.Cond, cols, verifier, counters); ok {
+			node := g.job.Add(compiledMark(name+"[batched]", op), in.parts, fn,
 				g.inputFrom(in, hyracks.ConnectorSpec{Type: hyracks.OneToOne}))
 			return &genOut{node: node, schema: in.schema, parts: in.parts, sortCols: in.sortCols}, nil
 		}
 	}
-	node := g.job.Add(name, in.parts, hyracks.FlatMap(
-		func(ctx *hyracks.TaskCtx, t hyracks.Tuple, emit func(hyracks.Tuple)) error {
-			v, err := algebra.Eval(cond, algebra.NewEnv(cols, t))
+	schema := in.schema
+	if len(op.FusedAssignVars) > 0 {
+		schema = append(append([]algebra.Var(nil), in.schema...), op.FusedAssignVars...)
+		name += "(fused-assign)"
+	}
+	cols := colMap(schema)
+	newCond := evalFactory(op.Cond, cols, op.Compiled)
+	newFused := make([]func() tupleEval, len(op.FusedAssignExprs))
+	for i, e := range op.FusedAssignExprs {
+		newFused[i] = evalFactory(e, cols, op.Compiled)
+	}
+	node := g.job.Add(compiledMark(name, op), in.parts, hyracks.MapStateful(
+		func() *selectState {
+			st := &selectState{cond: newCond(), fused: make([]tupleEval, len(newFused))}
+			for i, nf := range newFused {
+				st.fused[i] = nf()
+			}
+			return st
+		},
+		func(ctx *hyracks.TaskCtx, st *selectState, t hyracks.Tuple, emit func(hyracks.Tuple)) error {
+			row := t
+			if len(st.fused) > 0 {
+				row = make(hyracks.Tuple, len(t), len(t)+len(st.fused))
+				copy(row, t)
+				for _, fe := range st.fused {
+					v, err := fe(row)
+					if err != nil {
+						return err
+					}
+					row = append(row, v)
+				}
+			}
+			v, err := st.cond(row)
 			if err != nil {
 				return err
 			}
@@ -292,11 +330,11 @@ func (g *jobGen) genSelect(op *algebra.Op) (*genOut, error) {
 				if verifier {
 					counters.VerifiedTotal.Add(1)
 				}
-				emit(t)
+				emit(row)
 			}
 			return nil
-		}), g.inputFrom(in, hyracks.ConnectorSpec{Type: hyracks.OneToOne}))
-	return &genOut{node: node, schema: in.schema, parts: in.parts, sortCols: in.sortCols}, nil
+		}, nil), g.inputFrom(in, hyracks.ConnectorSpec{Type: hyracks.OneToOne}))
+	return &genOut{node: node, schema: schema, parts: in.parts, sortCols: in.sortCols}, nil
 }
 
 // batchedVerifyOp lowers a BatchVerify-marked select condition to a
@@ -308,6 +346,13 @@ func (g *jobGen) genSelect(op *algebra.Op) (*genOut, error) {
 // evaluate per survivor. Returns ok=false when the condition does not
 // decompose after all — the caller falls back to the per-tuple select,
 // which is always semantically equivalent.
+// batchVerifyState is one verifier instance's mutable scratch: the
+// checker's count map and a reused interpreter Env.
+type batchVerifyState struct {
+	checker *sim.JaccardChecker
+	env     *algebra.Env
+}
+
 func batchedVerifyOp(cond algebra.Expr, cols map[algebra.Var]int, verifier bool, counters *QueryCounters) (func() hyracks.Operator, bool) {
 	conjs := algebra.Conjuncts(cond)
 	simIdx := -1
@@ -348,10 +393,16 @@ func batchedVerifyOp(cond algebra.Expr, cols map[algebra.Var]int, verifier bool,
 		rest = algebra.AndAll(others)
 	}
 	return hyracks.FlatMapBatch(
-		func() *sim.JaccardChecker { return sim.NewJaccardChecker(queryToks) },
-		func(ctx *hyracks.TaskCtx, checker *sim.JaccardChecker, batch []hyracks.Tuple, emit func(hyracks.Tuple)) error {
+		func() *batchVerifyState {
+			return &batchVerifyState{
+				checker: sim.NewJaccardChecker(queryToks),
+				env:     algebra.NewEnv(cols, nil),
+			}
+		},
+		func(ctx *hyracks.TaskCtx, st *batchVerifyState, batch []hyracks.Tuple, emit func(hyracks.Tuple)) error {
+			checker, env := st.checker, st.env
 			for _, t := range batch {
-				env := algebra.NewEnv(cols, t)
+				env.Reset(t)
 				cv, err := algebra.Eval(candExpr, env)
 				if err != nil {
 					return err
@@ -395,14 +446,23 @@ func (g *jobGen) genAssign(op *algebra.Op) (*genOut, error) {
 		return nil, err
 	}
 	cols := colMap(in.schema)
-	exprs := op.AssignExprs
-	node := g.job.Add("Assign", in.parts, hyracks.FlatMap(
-		func(ctx *hyracks.TaskCtx, t hyracks.Tuple, emit func(hyracks.Tuple)) error {
-			nt := make(hyracks.Tuple, len(t), len(t)+len(exprs))
+	newEvals := make([]func() tupleEval, len(op.AssignExprs))
+	for i, e := range op.AssignExprs {
+		newEvals[i] = evalFactory(e, cols, op.Compiled)
+	}
+	node := g.job.Add(compiledMark("Assign", op), in.parts, hyracks.MapStateful(
+		func() []tupleEval {
+			evals := make([]tupleEval, len(newEvals))
+			for i, ne := range newEvals {
+				evals[i] = ne()
+			}
+			return evals
+		},
+		func(ctx *hyracks.TaskCtx, evals []tupleEval, t hyracks.Tuple, emit func(hyracks.Tuple)) error {
+			nt := make(hyracks.Tuple, len(t), len(t)+len(evals))
 			copy(nt, t)
-			env := algebra.NewEnv(cols, t)
-			for _, e := range exprs {
-				v, err := algebra.Eval(e, env)
+			for _, ev := range evals {
+				v, err := ev(t)
 				if err != nil {
 					return err
 				}
@@ -410,7 +470,7 @@ func (g *jobGen) genAssign(op *algebra.Op) (*genOut, error) {
 			}
 			emit(nt)
 			return nil
-		}), g.inputFrom(in, hyracks.ConnectorSpec{Type: hyracks.OneToOne}))
+		}, nil), g.inputFrom(in, hyracks.ConnectorSpec{Type: hyracks.OneToOne}))
 	schema := append(append([]algebra.Var(nil), in.schema...), op.AssignVars...)
 	return &genOut{node: node, schema: schema, parts: in.parts, sortCols: in.sortCols, fromIndex: in.fromIndex}, nil
 }
@@ -447,11 +507,12 @@ func (g *jobGen) genUnnest(op *algebra.Op) (*genOut, error) {
 		return nil, err
 	}
 	cols := colMap(in.schema)
-	expr := op.Expr
+	newEval := evalFactory(op.Expr, cols, op.Compiled)
 	withPos := op.PosVar != 0
-	node := g.job.Add("Unnest", in.parts, hyracks.FlatMap(
-		func(ctx *hyracks.TaskCtx, t hyracks.Tuple, emit func(hyracks.Tuple)) error {
-			v, err := algebra.Eval(expr, algebra.NewEnv(cols, t))
+	node := g.job.Add(compiledMark("Unnest", op), in.parts, hyracks.MapStateful(
+		newEval,
+		func(ctx *hyracks.TaskCtx, ev tupleEval, t hyracks.Tuple, emit func(hyracks.Tuple)) error {
+			v, err := ev(t)
 			if err != nil {
 				return err
 			}
@@ -471,7 +532,7 @@ func (g *jobGen) genUnnest(op *algebra.Op) (*genOut, error) {
 				emit(nt)
 			}
 			return nil
-		}), g.inputFrom(in, hyracks.ConnectorSpec{Type: hyracks.OneToOne}))
+		}, nil), g.inputFrom(in, hyracks.ConnectorSpec{Type: hyracks.OneToOne}))
 	schema := append(append([]algebra.Var(nil), in.schema...), op.UnnestVar)
 	if withPos {
 		schema = append(schema, op.PosVar)

@@ -243,18 +243,23 @@ func (g *jobGen) genJoin(op *algebra.Op) (*genOut, error) {
 		} else {
 			probeConn = hyracks.ConnectorSpec{Type: hyracks.RoundRobin}
 		}
-		buildLen := len(buildOut.schema)
-		pred := func(b, p hyracks.Tuple) (bool, error) {
-			row := make(hyracks.Tuple, 0, buildLen+len(p))
-			row = append(row, b...)
-			row = append(row, p...)
-			v, err := algebra.Eval(cond, algebra.NewEnv(outCols, row))
-			if err != nil {
-				return false, err
+		newEval := evalFactory(cond, outCols, op.Compiled)
+		newPred := func() func(b, p hyracks.Tuple) (bool, error) {
+			ev := newEval()
+			// One reused concatenation buffer per instance: pred runs
+			// serially within an instance and evaluators do not retain
+			// the row.
+			var row hyracks.Tuple
+			return func(b, p hyracks.Tuple) (bool, error) {
+				row = append(append(row[:0], b...), p...)
+				v, err := ev(row)
+				if err != nil {
+					return false, err
+				}
+				return algebra.Truthy(v), nil
 			}
-			return algebra.Truthy(v), nil
 		}
-		node = g.job.Add("NestedLoopJoin", g.parts, hyracks.NestedLoopJoin(pred),
+		node = g.job.Add(compiledMark("NestedLoopJoin", op), g.parts, hyracks.NestedLoopJoin(newPred),
 			g.inputFrom(buildOut, hyracks.ConnectorSpec{Type: hyracks.Broadcast}),
 			g.inputFrom(probeOut, probeConn))
 		return &genOut{node: node, schema: outSchema, parts: g.parts, fromIndex: left.fromIndex || right.fromIndex}, nil
@@ -271,9 +276,11 @@ func (g *jobGen) genJoin(op *algebra.Op) (*genOut, error) {
 	// Re-applying the full condition doubles as the global verification
 	// when an index subtree feeds the join.
 	counters := g.counters
-	post := g.job.Add("JoinPostSelect", g.parts, hyracks.FlatMap(
-		func(ctx *hyracks.TaskCtx, t hyracks.Tuple, emit func(hyracks.Tuple)) error {
-			v, err := algebra.Eval(cond, algebra.NewEnv(outCols, t))
+	newEval := evalFactory(cond, outCols, op.Compiled)
+	post := g.job.Add(compiledMark("JoinPostSelect", op), g.parts, hyracks.MapStateful(
+		newEval,
+		func(ctx *hyracks.TaskCtx, ev tupleEval, t hyracks.Tuple, emit func(hyracks.Tuple)) error {
+			v, err := ev(t)
 			if err != nil {
 				return err
 			}
@@ -284,7 +291,7 @@ func (g *jobGen) genJoin(op *algebra.Op) (*genOut, error) {
 				emit(t)
 			}
 			return nil
-		}), hyracks.Input{From: node, Conn: hyracks.ConnectorSpec{Type: hyracks.OneToOne}})
+		}, nil), hyracks.Input{From: node, Conn: hyracks.ConnectorSpec{Type: hyracks.OneToOne}})
 	return &genOut{node: post, schema: outSchema, parts: g.parts}, nil
 }
 
@@ -336,21 +343,22 @@ func (g *jobGen) genSecondarySearch(op *algebra.Op) (*genOut, error) {
 		return nil, err
 	}
 	cols := colMap(in.schema)
-	keyExpr, tExpr := op.KeyExpr, op.TExpr
+	newKeyEval := evalFactory(op.KeyExpr, cols, op.Compiled)
+	newTEval := evalFactory(op.TExpr, cols, op.Compiled)
 	dv, ds, ixName := op.Dataverse, op.Dataset, op.IndexName
 	c := g.c
 	counters := g.counters
-	node := g.job.Add("SecondaryIndexSearch("+ixName+")", g.parts, hyracks.FlatMap(
-		func(ctx *hyracks.TaskCtx, t hyracks.Tuple, emit func(hyracks.Tuple)) error {
-			env := algebra.NewEnv(cols, t)
-			keyVal, err := algebra.Eval(keyExpr, env)
+	node := g.job.Add(compiledMark("SecondaryIndexSearch("+ixName+")", op), g.parts, hyracks.MapStateful(
+		func() *searchEvals { return &searchEvals{key: newKeyEval(), t: newTEval()} },
+		func(ctx *hyracks.TaskCtx, ev *searchEvals, t hyracks.Tuple, emit func(hyracks.Tuple)) error {
+			keyVal, err := ev.key(t)
 			if err != nil {
 				return err
 			}
 			if keyVal.IsNull() {
 				return nil
 			}
-			tVal, err := algebra.Eval(tExpr, env)
+			tVal, err := ev.t(t)
 			if err != nil {
 				return err
 			}
@@ -376,9 +384,14 @@ func (g *jobGen) genSecondarySearch(op *algebra.Op) (*genOut, error) {
 				emit(nt)
 			}
 			return nil
-		}), g.inputFrom(in, hyracks.ConnectorSpec{Type: hyracks.Broadcast}))
+		}, nil), g.inputFrom(in, hyracks.ConnectorSpec{Type: hyracks.Broadcast}))
 	schema := append(append([]algebra.Var(nil), in.schema...), op.OutVar)
 	return &genOut{node: node, schema: schema, parts: g.parts, fromIndex: true}, nil
+}
+
+// searchEvals is one secondary-search instance's pair of evaluators.
+type searchEvals struct {
+	key, t tupleEval
 }
 
 // tokensFromValue converts a token-list value to strings. Non-string
@@ -412,13 +425,14 @@ func (g *jobGen) genPrimaryLookup(op *algebra.Op) (*genOut, error) {
 		return nil, fmt.Errorf("jobgen: unknown dataset %s.%s", op.Dataverse, op.Dataset)
 	}
 	cols := colMap(in.schema)
-	pkExpr := op.PKExpr
+	newEval := evalFactory(op.PKExpr, cols, op.Compiled)
 	raw := op.RawPK
 	dv, ds, pkField := op.Dataverse, op.Dataset, meta.PKField
 	c := g.c
-	node := g.job.Add("PrimaryIndexLookup("+ds+")", g.parts, hyracks.FlatMap(
-		func(ctx *hyracks.TaskCtx, t hyracks.Tuple, emit func(hyracks.Tuple)) error {
-			v, err := algebra.Eval(pkExpr, algebra.NewEnv(cols, t))
+	node := g.job.Add(compiledMark("PrimaryIndexLookup("+ds+")", op), g.parts, hyracks.MapStateful(
+		newEval,
+		func(ctx *hyracks.TaskCtx, ev tupleEval, t hyracks.Tuple, emit func(hyracks.Tuple)) error {
+			v, err := ev(t)
 			if err != nil {
 				return err
 			}
@@ -447,7 +461,7 @@ func (g *jobGen) genPrimaryLookup(op *algebra.Op) (*genOut, error) {
 			nt = append(nt, pkVal, rec)
 			emit(nt)
 			return nil
-		}), g.inputFrom(in, hyracks.ConnectorSpec{Type: hyracks.OneToOne}))
+		}, nil), g.inputFrom(in, hyracks.ConnectorSpec{Type: hyracks.OneToOne}))
 	schema := append(append([]algebra.Var(nil), in.schema...), op.PKVar, op.RecVar)
 	return &genOut{node: node, schema: schema, parts: g.parts, fromIndex: in.fromIndex}, nil
 }

@@ -15,6 +15,9 @@ var (
 	queryLatency   = obs.H("cluster.query_latency_ns")
 	slowQueries    = obs.C("cluster.slow_queries")
 	profileQueries = obs.C("cluster.profiled_queries")
+	// plancachePromotions counts hot plans recompiled with the
+	// specialization pass after crossing Config.SpecializeAfterHits.
+	plancachePromotions = obs.C("cluster.plancache.promotions")
 )
 
 // SetSlowQueryThreshold changes the slow-query log latency threshold at
@@ -179,10 +182,11 @@ func (c *Cluster) Metrics() obs.Snapshot {
 	r.Gauge("storage.cache.pages_read").Set(pagesRead)
 
 	ps := c.planCache.Stats()
-	r.Gauge("plancache.hits").Set(ps.Hits)
-	r.Gauge("plancache.misses").Set(ps.Misses)
-	r.Gauge("plancache.invalidations").Set(ps.Invalidations)
-	r.Gauge("plancache.entries").Set(int64(ps.Entries))
+	r.Gauge("cluster.plancache.hits").Set(ps.Hits)
+	r.Gauge("cluster.plancache.misses").Set(ps.Misses)
+	r.Gauge("cluster.plancache.invalidations").Set(ps.Invalidations)
+	r.Gauge("cluster.plancache.evictions").Set(ps.Evictions)
+	r.Gauge("cluster.plancache.entries").Set(int64(ps.Entries))
 
 	qs := c.qm.Stats()
 	r.Gauge("querymanager.admitted").Set(qs.Admitted)

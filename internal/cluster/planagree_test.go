@@ -141,6 +141,60 @@ func TestSelectionPlansAgreeOnSyntheticData(t *testing.T) {
 	}
 }
 
+// TestSpecializedPlansAgreeOnSyntheticData forces the specialization
+// pass (constant folding, assign/select fusion, compiled evaluators) on
+// the selection and join workloads and checks the answers are identical
+// to the default interpreted plans — the cluster-level counterpart of
+// the algebra package's compiled-vs-interpreted property tests.
+func TestSpecializedPlansAgreeOnSyntheticData(t *testing.T) {
+	c := newTestCluster(t, 2, 2)
+	sess := NewSession()
+	loadSynthetic(t, c, sess, "ARevs", datagen.Amazon, 400)
+	exec(t, c, sess, `create index spx on ARevs(summary) type keyword;`)
+
+	spec := sessionOpts(func(o *optimizer.Options) { o.Specialize = true })
+	selections := []string{
+		`for $r in dataset ARevs
+		 where similarity-jaccard(word-tokens($r.summary), word-tokens('the great product of love')) >= 0.5
+		 return $r.id`,
+		`for $r in dataset ARevs
+		 where edit-distance($r.reviewerName, 'Mogo Bani') <= 2
+		 return $r.id`,
+	}
+	sawCompiled := false
+	for i, q := range selections {
+		ref := exec(t, c, sessionOpts(nil), q)
+		got := exec(t, c, spec, q)
+		if fmt.Sprint(rowInts(t, got.Rows)) != fmt.Sprint(rowInts(t, ref.Rows)) {
+			t.Errorf("selection %d: specialized %v != interpreted %v",
+				i, rowInts(t, got.Rows), rowInts(t, ref.Rows))
+		}
+		if strings.Contains(got.Stats.LogicalPlan, "[compiled]") {
+			sawCompiled = true
+		}
+	}
+	if !sawCompiled {
+		t.Error("no specialized selection plan carried a [compiled] operator")
+	}
+
+	join := `
+		set simfunction 'jaccard';
+		set simthreshold '0.8';
+		for $a in dataset ARevs
+		for $b in dataset ARevs
+		where word-tokens($a.summary) ~= word-tokens($b.summary) and $a.id < $b.id
+		return { 'l': $a.id, 'r': $b.id }
+	`
+	ref := exec(t, c, sessionOpts(nil), join)
+	got := exec(t, c, spec, join)
+	if pairKey(ref) != pairKey(got) {
+		t.Errorf("specialized join differs: %d rows vs %d", len(got.Rows), len(ref.Rows))
+	}
+	if len(ref.Rows) == 0 {
+		t.Error("join produced no similar pairs; test is vacuous")
+	}
+}
+
 func sessionOpts(mod func(*optimizer.Options)) *Session {
 	s := NewSession()
 	opts := optimizer.DefaultOptions()

@@ -38,6 +38,7 @@ type PlanCache struct {
 	hits          atomic.Int64
 	misses        atomic.Int64
 	invalidations atomic.Int64
+	evictions     atomic.Int64
 }
 
 // planKey identifies one compilable request. All fields participate in
@@ -63,6 +64,10 @@ type planEntry struct {
 	logicalPlan string
 	ruleTrace   []string
 	cornerCases int
+	// hits counts how many times this entry served a query; the
+	// specialization pass promotes a plan to a compiled build once its
+	// base entry crosses Config.SpecializeAfterHits.
+	hits atomic.Int64
 }
 
 // NewPlanCache returns a cache bounded to capacity entries (LRU
@@ -113,6 +118,34 @@ func (pc *PlanCache) get(key planKey, epoch uint64) (*planEntry, bool) {
 	return e, true
 }
 
+// peek is get without the miss accounting: an absent key costs nothing.
+// The executor uses it to probe for a promoted (specialized) build of a
+// plan before the base-key lookup — most queries have none, and that
+// probe must not inflate the miss counter.
+func (pc *PlanCache) peek(key planKey, epoch uint64) (*planEntry, bool) {
+	if pc.disabled.Load() {
+		return nil, false
+	}
+	pc.mu.Lock()
+	el, ok := pc.entries[key]
+	if !ok {
+		pc.mu.Unlock()
+		return nil, false
+	}
+	e := el.Value.(*planEntry)
+	if e.epoch != epoch {
+		pc.lru.Remove(el)
+		delete(pc.entries, key)
+		pc.mu.Unlock()
+		pc.invalidations.Add(1)
+		return nil, false
+	}
+	pc.lru.MoveToFront(el)
+	pc.mu.Unlock()
+	pc.hits.Add(1)
+	return e, true
+}
+
 // put stores a freshly compiled plan, evicting the least recently used
 // entry when over capacity.
 func (pc *PlanCache) put(e *planEntry) {
@@ -131,6 +164,7 @@ func (pc *PlanCache) put(e *planEntry) {
 		oldest := pc.lru.Back()
 		pc.lru.Remove(oldest)
 		delete(pc.entries, oldest.Value.(*planEntry).key)
+		pc.evictions.Add(1)
 	}
 }
 
@@ -147,6 +181,7 @@ type PlanCacheStats struct {
 	Hits          int64
 	Misses        int64
 	Invalidations int64
+	Evictions     int64
 	Entries       int
 }
 
@@ -159,6 +194,7 @@ func (pc *PlanCache) Stats() PlanCacheStats {
 		Hits:          pc.hits.Load(),
 		Misses:        pc.misses.Load(),
 		Invalidations: pc.invalidations.Load(),
+		Evictions:     pc.evictions.Load(),
 		Entries:       n,
 	}
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"strings"
 	"testing"
 
 	"simdb/internal/optimizer"
@@ -200,6 +201,100 @@ func TestPlanCacheDisabled(t *testing.T) {
 	}
 	if st := c.PlanCache().Stats(); st.Entries != 0 {
 		t.Fatalf("disabled cache stored entries: %+v", st)
+	}
+}
+
+// TestPlanCachePromotion exercises the hot-plan path end to end: cold
+// and early-warm queries run the interpreted build, the hit that
+// crosses SpecializeAfterHits triggers one specialized recompile, and
+// every query after that serves the promoted build from the cache.
+func TestPlanCachePromotion(t *testing.T) {
+	c := newTestCluster(t, 1, 2) // default SpecializeAfterHits = 3
+	sess := NewSession()
+	loadReviews(t, c, sess)
+
+	cold := exec(t, c, sess, jaccardQuery)
+	if cold.Stats.PlanCacheHit || cold.Stats.Specialized {
+		t.Fatalf("cold run: hit=%v specialized=%v, want false/false",
+			cold.Stats.PlanCacheHit, cold.Stats.Specialized)
+	}
+	want := rowInts(t, cold.Rows)
+
+	// Hits 1 and 2 on the base entry serve the interpreted plan.
+	for i := 0; i < 2; i++ {
+		res := exec(t, c, sess, jaccardQuery)
+		if !res.Stats.PlanCacheHit || res.Stats.Specialized {
+			t.Fatalf("warm run %d: hit=%v specialized=%v, want true/false",
+				i, res.Stats.PlanCacheHit, res.Stats.Specialized)
+		}
+	}
+
+	// Hit 3 crosses the threshold: the cache declines to serve and the
+	// query recompiles with the specialization pass.
+	promoted := exec(t, c, sess, jaccardQuery)
+	if promoted.Stats.PlanCacheHit || !promoted.Stats.Specialized {
+		t.Fatalf("promotion run: hit=%v specialized=%v, want false/true",
+			promoted.Stats.PlanCacheHit, promoted.Stats.Specialized)
+	}
+	if promoted.Stats.OptimizeNs == 0 {
+		t.Fatal("promotion run reported no optimize time")
+	}
+
+	// From now on the promoted build serves straight from the cache.
+	after := exec(t, c, sess, jaccardQuery)
+	if !after.Stats.PlanCacheHit || !after.Stats.Specialized {
+		t.Fatalf("post-promotion run: hit=%v specialized=%v, want true/true",
+			after.Stats.PlanCacheHit, after.Stats.Specialized)
+	}
+	for _, res := range []*Result{promoted, after} {
+		got := rowInts(t, res.Rows)
+		if len(got) != len(want) {
+			t.Fatalf("specialized plan returned %v, interpreted %v", got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("specialized plan returned %v, interpreted %v", got, want)
+			}
+		}
+	}
+
+	// explain analyze reflects the promoted state: its operator table
+	// carries the [compiled] annotations the promoted plan runs with.
+	ea := exec(t, c, sess, "explain analyze "+jaccardQuery)
+	var joined strings.Builder
+	for _, r := range ea.Rows {
+		joined.WriteString(r.Str())
+		joined.WriteByte('\n')
+	}
+	if !strings.Contains(joined.String(), "[compiled]") {
+		t.Fatalf("explain analyze after promotion shows no [compiled] operator:\n%s",
+			joined.String())
+	}
+
+	if snap := c.Metrics(); snap.Counters["cluster.plancache.promotions"] == 0 {
+		t.Fatal("promotion did not bump cluster.plancache.promotions")
+	}
+}
+
+// TestPlanCachePromotionDisabled pins the opt-out: a negative threshold
+// never promotes, no matter how hot the plan runs.
+func TestPlanCachePromotionDisabled(t *testing.T) {
+	c, err := New(Config{NumNodes: 1, PartitionsPerNode: 2, DataDir: t.TempDir(),
+		SpecializeAfterHits: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	sess := NewSession()
+	loadReviews(t, c, sess)
+
+	exec(t, c, sess, jaccardQuery)
+	for i := 0; i < 6; i++ {
+		res := exec(t, c, sess, jaccardQuery)
+		if !res.Stats.PlanCacheHit || res.Stats.Specialized {
+			t.Fatalf("run %d with promotion disabled: hit=%v specialized=%v",
+				i, res.Stats.PlanCacheHit, res.Stats.Specialized)
+		}
 	}
 }
 

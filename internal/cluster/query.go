@@ -38,6 +38,13 @@ type QueryStats struct {
 	// their Ns fields are zero.
 	PlanCacheHit bool
 
+	// Specialized is true when the query ran a specialized plan build:
+	// the optimizer's specialization pass (constant folding,
+	// assign/select fusion, compiled expression evaluators) was applied,
+	// either because the session asked for it or because the plan crossed
+	// the promotion hit threshold.
+	Specialized bool
+
 	// EstimatedParallel is the cost model's makespan estimate for the
 	// configured node count (see Config.CostModel) — the number the
 	// scale-out/speed-up experiments report.
@@ -243,11 +250,42 @@ func (c *Cluster) execute(ctx context.Context, sess *Session, src string, admitN
 	// entry stored under this epoch can never reflect catalog state
 	// newer than what its key claims, so DDL invalidation is sound.
 	epoch := c.Catalog.Epoch()
+	// promote is set when a cached base plan crosses the hit threshold:
+	// the lookup below declines to serve it and the compile path instead
+	// rebuilds the plan with the specialization pass, caching the result
+	// under its own (Specialize=true) key.
+	promote := false
+	specThresh := c.cfg.SpecializeAfterHits
 	if !explain {
 		qr.setPhase(phasePlanCache)
 		lookup := qr.tr.StartSpan(trace.RootSpan, "plan-cache", trace.CatPhase)
-		e, ok := c.planCache.get(key, epoch)
-		lookup.End(trace.S("outcome", cacheOutcome(ok)))
+		var (
+			e  *planEntry
+			ok bool
+		)
+		if !key.opts.Specialize && specThresh > 0 {
+			// A promoted build of this plan, if one exists, serves ahead of
+			// the base entry. peek counts no miss: most plans never promote
+			// and the probe must not distort the miss rate.
+			sk := key
+			sk.opts.Specialize = true
+			e, ok = c.planCache.peek(sk, epoch)
+		}
+		if !ok {
+			e, ok = c.planCache.get(key, epoch)
+			if ok && !key.opts.Specialize && specThresh > 0 &&
+				e.hits.Add(1) >= int64(specThresh) {
+				ok = false
+				promote = true
+				plancachePromotions.Inc()
+			}
+		}
+		switch {
+		case promote:
+			lookup.End(trace.S("outcome", "promote"))
+		default:
+			lookup.End(trace.S("outcome", cacheOutcome(ok)))
+		}
 		if ok {
 			// Warm hit: skip parse, translate, and optimize entirely. Replay
 			// the request's session effects (use/set), then execute a private
@@ -260,6 +298,7 @@ func (c *Cluster) execute(ctx context.Context, sess *Session, src string, admitN
 			stats := &QueryStats{
 				AdmissionNs:         admitNs,
 				PlanCacheHit:        true,
+				Specialized:         e.key.opts.Specialize,
 				PlanOps:             e.planOps,
 				LogicalPlan:         e.logicalPlan,
 				RuleTrace:           append([]string(nil), e.ruleTrace...),
@@ -305,10 +344,30 @@ func (c *Cluster) execute(ctx context.Context, sess *Session, src string, admitN
 
 	qr.setPhase(phaseCompile)
 	st := c.snapshotSession(sess)
+	if promote {
+		// Hot-plan promotion: recompile with the specialization pass and
+		// store under the Specialize=true key, so the base (interpreted)
+		// entry stays intact for sessions that pin Specialize off via
+		// explicit Opts and future lookups find the promoted build first.
+		st.Opts.Specialize = true
+		key.opts.Specialize = true
+	}
 	if q.Analyze {
 		// explain analyze always measures: force span collection for this
 		// run without flipping the session's profile setting.
 		st.Profile = true
+		// Reflect what the server would actually run: when the bare query
+		// has a promoted (specialized) build in the cache, compile this
+		// analyze run specialized too, so its operator table carries the
+		// same [compiled] annotations the promoted plan executes with.
+		if !st.Opts.Specialize && specThresh > 0 {
+			sk := key
+			sk.text = strings.TrimPrefix(strings.TrimPrefix(norm, "explain analyze"), " ")
+			sk.opts.Specialize = true
+			if _, promoted := c.planCache.peek(sk, epoch); promoted {
+				st.Opts.Specialize = true
+			}
+		}
 	}
 	compileSpan := qr.tr.StartSpan(trace.RootSpan, "compile", trace.CatPhase)
 	plan, stats, err := c.compileState(st, q.Body)
@@ -323,6 +382,7 @@ func (c *Cluster) execute(ctx context.Context, sess *Session, src string, admitN
 	)
 	stats.ParseNs = parseNs
 	stats.AdmissionNs = admitNs
+	stats.Specialized = st.Opts.Specialize
 
 	if q.Explain && !q.Analyze {
 		// Bare explain: compile only, rows are the optimized plan text.

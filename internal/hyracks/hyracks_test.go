@@ -326,8 +326,10 @@ func TestNestedLoopJoinWithPredicate(t *testing.T) {
 	job := &Job{}
 	left := job.Add("L", 1, partitionedSource([][]int64{{1, 2, 3}}))
 	right := job.Add("R", 2, partitionedSource([][]int64{{10, 20}, {30}}))
-	join := job.Add("NLJoin", 2, NestedLoopJoin(func(b, p Tuple) (bool, error) {
-		return p[0].Int()/10 == b[0].Int(), nil
+	join := job.Add("NLJoin", 2, NestedLoopJoin(func() func(b, p Tuple) (bool, error) {
+		return func(b, p Tuple) (bool, error) {
+			return p[0].Int()/10 == b[0].Int(), nil
+		}
 	}),
 		Input{From: left, Conn: ConnectorSpec{Type: Broadcast}},
 		Input{From: right, Conn: ConnectorSpec{Type: OneToOne}})

@@ -451,14 +451,21 @@ func HashJoin(buildKeys, probeKeys []int) func() Operator {
 }
 
 // NestedLoopJoin materializes input port 0 and, for each tuple of port
-// 1, emits build ++ probe rows satisfying pred. pred may be nil (cross
-// product). The build side is typically broadcast.
+// 1, emits build ++ probe rows satisfying the predicate. newPred is a
+// factory invoked once per operator instance — operator closures are
+// shared across partitions, so any per-instance evaluator state (a
+// reused expression Env, scratch buffers) must come from the factory.
+// newPred may be nil, or may return nil, for a cross product.
 // Under a memory budget, the build side overflows to a spill run; the
 // spilled path then joins in probe blocks (block-nested-loop), re-
 // scanning the build buffer once per block instead of once per tuple.
-func NestedLoopJoin(pred func(build, probe Tuple) (bool, error)) func() Operator {
+func NestedLoopJoin(newPred func() func(build, probe Tuple) (bool, error)) func() Operator {
 	return func() Operator {
 		return OpFunc(func(ctx *TaskCtx, in []*PortReader, out []*Emitter) error {
+			var pred func(build, probe Tuple) (bool, error)
+			if newPred != nil {
+				pred = newPred()
+			}
 			g := ctx.Grant()
 			defer g.ReleaseAll()
 			build := newSpillableBuffer(ctx, g, "nlj-build")

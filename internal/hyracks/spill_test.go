@@ -268,7 +268,9 @@ func TestNestedLoopJoinSpillMatchesInMemory(t *testing.T) {
 	for i := 0; i < 500; i++ {
 		probe = append(probe, Tuple{adm.NewInt(int64(i % 40))})
 	}
-	pred := func(b, p Tuple) (bool, error) { return b[0].Int() == p[0].Int(), nil }
+	pred := func() func(b, p Tuple) (bool, error) {
+		return func(b, p Tuple) (bool, error) { return b[0].Int() == p[0].Int(), nil }
+	}
 	mk := func() (*Job, *Collector) {
 		job := &Job{}
 		bn := job.Add("Build", 1, tupleSource(build))
