@@ -5,7 +5,9 @@
 //	benchrunner all
 //
 // Experiments: table3 table4 table5 table6 fig15 fig22a fig22b fig24a
-// fig24b fig25a fig25b fig27 ablation concurrency spill ingest env all
+// fig24b fig25a fig25b fig27 ablation concurrency spill ingest scan
+// transport env all ("all" excludes transport; ask for it by name or
+// with -transport)
 package main
 
 import (
@@ -18,9 +20,13 @@ import (
 
 	"simdb/internal/aqlp"
 	"simdb/internal/bench"
+	"simdb/internal/core"
 )
 
 func main() {
+	// The transport experiment re-executes this binary as tcp-mode worker
+	// processes; the hook must run before anything else.
+	core.MaybeRunWorker()
 	var (
 		scale   = flag.Int("scale", 20000, "Amazon record count (other datasets scale relative to it)")
 		nodes   = flag.Int("nodes", 2, "simulated node count")
@@ -31,9 +37,10 @@ func main() {
 		metrics = flag.String("metrics", "", "write the final process metrics snapshot as JSON to this file (\"-\" for stdout)")
 		budgets = flag.String("membudget", "", "comma-separated per-query memory budgets for the spill sweep (e.g. \"0,16m,2m,256k\"; 0 = unlimited)")
 		dbgAddr = flag.String("debug-addr", "", "start the introspection HTTP server on this address while experiments run")
+		transp  = flag.Bool("transport", false, "run the inproc-vs-tcp transport comparison (emits BENCH_transport.json)")
 	)
 	flag.Parse()
-	if flag.NArg() < 1 {
+	if flag.NArg() < 1 && !*transp {
 		fmt.Fprintln(os.Stderr, "usage: benchrunner [flags] <experiment|all>")
 		flag.PrintDefaults()
 		os.Exit(2)
@@ -65,7 +72,11 @@ func main() {
 	}
 	defer env.Close()
 
-	for _, name := range flag.Args() {
+	names := flag.Args()
+	if *transp {
+		names = append(names, "transport")
+	}
+	for _, name := range names {
 		if name == "env" {
 			printEnv(env)
 			continue

@@ -26,19 +26,21 @@ import (
 var loadRe = regexp.MustCompile(`(?is)^\s*load\s+dataset\s+(\w+)\s+from\s+'([^']+)'\s*;?\s*$`)
 
 func main() {
+	core.MaybeRunWorker()
 	var (
-		dataDir = flag.String("data", "", "database directory (required)")
-		nodes   = flag.Int("nodes", 2, "simulated node count")
-		parts   = flag.Int("parts", 2, "partitions per node")
-		query   = flag.String("q", "", "run one request and exit")
-		dbgAddr = flag.String("debug-addr", "", "start the introspection HTTP server on this address (e.g. localhost:6060)")
+		dataDir   = flag.String("data", "", "database directory (required)")
+		nodes     = flag.Int("nodes", 2, "simulated node count")
+		parts     = flag.Int("parts", 2, "partitions per node")
+		query     = flag.String("q", "", "run one request and exit")
+		dbgAddr   = flag.String("debug-addr", "", "start the introspection HTTP server on this address (e.g. localhost:6060)")
+		transport = flag.String("transport", "", `frame transport: "inproc" (default, single process) or "tcp" (nodes run as child processes over TCP loopback)`)
 	)
 	flag.Parse()
 	if *dataDir == "" {
 		fmt.Fprintln(os.Stderr, "simdb: -data is required")
 		os.Exit(2)
 	}
-	db, err := core.Open(core.Config{DataDir: *dataDir, NumNodes: *nodes, PartitionsPerNode: *parts, DebugAddr: *dbgAddr})
+	db, err := core.Open(core.Config{DataDir: *dataDir, NumNodes: *nodes, PartitionsPerNode: *parts, DebugAddr: *dbgAddr, Transport: *transport})
 	if err != nil {
 		fatal(err)
 	}

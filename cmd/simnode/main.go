@@ -1,0 +1,29 @@
+// Command simnode is a dedicated SimDB worker-node binary for the tcp
+// transport. The coordinator process spawns one simnode per remote
+// node, writes a one-line JSON bootstrap message (node id, coordinator
+// address, cluster config) to its stdin, and keeps the pipe open as a
+// liveness signal; the worker exits when the pipe closes or a shutdown
+// control message arrives.
+//
+// Point core.Config.WorkerCmd at this binary to run workers from a
+// build that is not the coordinator executable itself:
+//
+//	core.Open(core.Config{Transport: "tcp", WorkerCmd: []string{"./simnode"}, ...})
+//
+// Run by hand it just waits for a bootstrap line on stdin, so it is
+// only useful when launched by a coordinator.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"simdb/internal/cluster"
+)
+
+func main() {
+	if err := cluster.RunWorker(os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "simnode:", err)
+		os.Exit(1)
+	}
+}

@@ -12,8 +12,14 @@ import (
 	"simdb/internal/tokenizer"
 )
 
-// Run dispatches one experiment by name; "all" runs everything.
+// Run dispatches one experiment by name; "all" runs everything except
+// "transport", which spawns worker child processes and therefore needs
+// the embedding binary to have the core.MaybeRunWorker hook — it must
+// be asked for by name (benchrunner's -transport flag does).
 func (e *Env) Run(name string) error {
+	if name == "transport" {
+		return e.TransportBench()
+	}
 	type exp struct {
 		name string
 		fn   func() error

@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"simdb/internal/adm"
+	"simdb/internal/core"
+)
+
+// TransportCell is one measured point of the transport comparison: a
+// frame transport crossed with a concurrent client count, all serving
+// the same index-backed similarity workload.
+type TransportCell struct {
+	Transport string  `json:"transport"`
+	Clients   int     `json:"clients"`
+	Queries   int     `json:"queries"`
+	WallMs    float64 `json:"wall_ms"`
+	QPS       float64 `json:"qps"`
+}
+
+// TransportReport is the JSON emitted as BENCH_transport.json.
+type TransportReport struct {
+	Experiment string          `json:"experiment"`
+	Scale      int             `json:"scale"`
+	Nodes      int             `json:"nodes"`
+	Cells      []TransportCell `json:"cells"`
+	// TCPRelative maps a client count to tcp qps over inproc qps at that
+	// concurrency — the end-to-end cost of shipping frames through real
+	// sockets between OS processes instead of Go channels.
+	TCPRelative map[string]float64 `json:"tcp_relative_qps"`
+}
+
+// TransportBench compares the inproc and tcp frame transports on the
+// same workload: index-backed Jaccard selections at 1, 4, and 16
+// concurrent clients. Each transport gets its own fresh database over
+// identical data; the tcp cells run every node past node 0 as a child
+// OS process reached over TCP loopback, so the measured gap is the real
+// serialization + socket + process-boundary cost the inproc simulator
+// hides. Results go to BENCH_transport.json. The embedding binary must
+// call core.MaybeRunWorker at the top of main for the tcp cells to
+// work (cmd/benchrunner does).
+func (e *Env) TransportBench() error {
+	e.logf("\n=== Transport: inproc vs tcp-loopback, parallel Jaccard selections ===\n")
+	nodes := e.Nodes
+	if nodes < 2 {
+		nodes = 2 // tcp mode needs at least one remote node
+	}
+	n := e.Scale
+	recs := genWideRecords(n)
+
+	// A small pool of distinct query texts, as in the concurrency
+	// experiment: every client cycles through it so the plan cache keeps
+	// compilation off the measured path and the cells compare transports,
+	// not compilers.
+	pool := []string{}
+	for _, w := range []string{
+		"apple orange banana", "cherry grape mango", "peach plum melon",
+		"kiwi fig lime", "orange cherry peach", "banana mango lime",
+		"apple grape melon", "cherry plum fig",
+	} {
+		pool = append(pool, fmt.Sprintf(`count(for $r in dataset ScanBench
+			where similarity-jaccard(word-tokens($r.summary), word-tokens('%s')) >= 0.5
+			return $r.id)`, w))
+	}
+	perClient := e.SelQueries
+	if perClient < 8 {
+		perClient = 8
+	}
+
+	report := TransportReport{
+		Experiment:  "transport",
+		Scale:       n,
+		Nodes:       nodes,
+		TCPRelative: map[string]float64{},
+	}
+	e.logf("%10s %8s %8s %10s %10s\n", "transport", "clients", "queries", "wall(ms)", "qps")
+	qpsAt := map[string]map[int]float64{}
+	for _, tr := range []string{"inproc", "tcp"} {
+		dir := filepath.Join(e.Dir, "transport-"+tr)
+		db, err := openTransportDB(dir, nodes, e.PartsPerNode, tr, recs)
+		if err != nil {
+			return fmt.Errorf("transport %s: %w", tr, err)
+		}
+		qpsAt[tr] = map[int]float64{}
+		for _, clients := range []int{1, 4, 16} {
+			cell, err := timeTransportCell(db, pool, tr, clients, perClient)
+			if err != nil {
+				db.Close()
+				return fmt.Errorf("transport %s/%d clients: %w", tr, clients, err)
+			}
+			report.Cells = append(report.Cells, cell)
+			qpsAt[tr][clients] = cell.QPS
+			e.logf("%10s %8d %8d %10.1f %10.1f\n",
+				cell.Transport, cell.Clients, cell.Queries, cell.WallMs, cell.QPS)
+		}
+		if err := db.Close(); err != nil {
+			return fmt.Errorf("transport %s: close: %w", tr, err)
+		}
+		_ = os.RemoveAll(dir)
+	}
+
+	for _, clients := range []int{1, 4, 16} {
+		if ip := qpsAt["inproc"][clients]; ip > 0 {
+			report.TCPRelative[fmt.Sprintf("%d", clients)] = qpsAt["tcp"][clients] / ip
+		}
+	}
+	e.logf("tcp qps relative to inproc: %v\n", report.TCPRelative)
+
+	dir := e.ReportDir
+	if dir == "" {
+		dir = "."
+	}
+	path := filepath.Join(dir, "BENCH_transport.json")
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	e.logf("wrote %s\n", path)
+	return nil
+}
+
+// openTransportDB opens a fresh database on the given transport and
+// loads the wide scan dataset plus a keyword index on the similarity
+// field, so the workload exercises index search, cross-node candidate
+// movement, and the merge back to the coordinator.
+func openTransportDB(dir string, nodes, parts int, transport string, recs []adm.Value) (*core.Database, error) {
+	db, err := core.Open(core.Config{
+		DataDir:           dir,
+		NumNodes:          nodes,
+		PartitionsPerNode: parts,
+		Transport:         transport,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := db.Query(`create dataset ScanBench primary key id;`); err != nil {
+		db.Close()
+		return nil, err
+	}
+	const batch = 512
+	for off := 0; off < len(recs); off += batch {
+		end := off + batch
+		if end > len(recs) {
+			end = len(recs)
+		}
+		if err := db.InsertBatch("ScanBench", recs[off:end]); err != nil {
+			db.Close()
+			return nil, err
+		}
+	}
+	if err := db.Flush(); err != nil {
+		db.Close()
+		return nil, err
+	}
+	if _, err := db.Query(`create index tr_kw on ScanBench(summary) type keyword;`); err != nil {
+		db.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// timeTransportCell runs one (transport, clients) cell: an untimed
+// priming pass over the pool, then best-of-2 rounds of clients×perClient
+// queries, reporting the best throughput.
+func timeTransportCell(db *core.Database, pool []string, transport string, clients, perClient int) (TransportCell, error) {
+	for _, src := range pool {
+		if _, err := db.Query(src); err != nil {
+			return TransportCell{}, err
+		}
+	}
+	n := clients * perClient
+	var cell TransportCell
+	const rounds = 2
+	for round := 0; round < rounds; round++ {
+		runtime.GC()
+		var (
+			wg       sync.WaitGroup
+			firstErr atomic.Value
+		)
+		t0 := time.Now()
+		for cl := 0; cl < clients; cl++ {
+			wg.Add(1)
+			go func(cl int) {
+				defer wg.Done()
+				sess := db.NewSession() // sessions are single-goroutine
+				for q := 0; q < perClient; q++ {
+					src := pool[(cl*perClient+q)%len(pool)]
+					if _, err := db.Execute(context.Background(), sess, src); err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+				}
+			}(cl)
+		}
+		wg.Wait()
+		wall := time.Since(t0)
+		if err, ok := firstErr.Load().(error); ok && err != nil {
+			return TransportCell{}, err
+		}
+		qps := float64(n) / wall.Seconds()
+		if round == 0 || qps > cell.QPS {
+			cell = TransportCell{
+				Transport: transport,
+				Clients:   clients,
+				Queries:   n,
+				WallMs:    float64(wall.Microseconds()) / 1000,
+				QPS:       qps,
+			}
+		}
+	}
+	return cell, nil
+}

@@ -32,6 +32,12 @@ type Catalog struct {
 	dataverses map[string]bool
 	datasets   map[string]*DatasetMeta // key: dv + "." + name
 	funcs      map[string]aqlp.FuncDef
+
+	// funcDDL logs the raw request text of every `create function`
+	// request, in application order. UDF bodies are AST nodes with no
+	// serialized form, so catalog snapshots replicate functions by
+	// shipping these sources for the receiver to re-parse.
+	funcDDL []string
 }
 
 // Epoch returns the current DDL epoch.
@@ -144,6 +150,74 @@ func (c *Catalog) Funcs() map[string]aqlp.FuncDef {
 		out[k] = v
 	}
 	return out
+}
+
+// noteFuncDDL records the raw source of a create-function request for
+// snapshot replication.
+func (c *Catalog) noteFuncDDL(src string) {
+	c.mu.Lock()
+	c.funcDDL = append(c.funcDDL, src)
+	c.mu.Unlock()
+}
+
+// CatalogSnapshot is the wire form of the full catalog state, shipped
+// from the coordinator to worker processes whenever their synced epoch
+// falls behind. UDFs travel as their original DDL text (FuncDDL) since
+// parsed bodies have no serialized form.
+type CatalogSnapshot struct {
+	Epoch      uint64        `json:"epoch"`
+	Dataverses []string      `json:"dataverses"`
+	Datasets   []DatasetMeta `json:"datasets"`
+	FuncDDL    []string      `json:"func_ddl,omitempty"`
+}
+
+// Snapshot captures the catalog for replication.
+func (c *Catalog) Snapshot() CatalogSnapshot {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s := CatalogSnapshot{Epoch: c.epoch.Load()}
+	for dv := range c.dataverses {
+		s.Dataverses = append(s.Dataverses, dv)
+	}
+	for _, m := range c.datasets {
+		s.Datasets = append(s.Datasets, *m)
+	}
+	s.FuncDDL = append(s.FuncDDL, c.funcDDL...)
+	return s
+}
+
+// Restore replaces the catalog's contents with a snapshot, replaying
+// the function DDL to rebuild parsed UDF bodies. Statements other than
+// create function inside a replayed request are ignored — their effects
+// (datasets, indexes) arrive through the snapshot itself.
+func (c *Catalog) Restore(s CatalogSnapshot) error {
+	funcs := map[string]aqlp.FuncDef{}
+	for _, src := range s.FuncDDL {
+		q, err := aqlp.Parse(src)
+		if err != nil {
+			return fmt.Errorf("catalog: replay function DDL: %w", err)
+		}
+		for _, stmt := range q.Stmts {
+			if f, ok := stmt.(aqlp.CreateFunctionStmt); ok {
+				funcs[f.Name] = aqlp.FuncDef{Params: f.Params, Body: f.Body}
+			}
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dataverses = map[string]bool{"Default": true}
+	for _, dv := range s.Dataverses {
+		c.dataverses[dv] = true
+	}
+	c.datasets = map[string]*DatasetMeta{}
+	for i := range s.Datasets {
+		m := s.Datasets[i]
+		c.datasets[dsKey(m.Dataverse, m.Name)] = &m
+	}
+	c.funcs = funcs
+	c.funcDDL = append([]string(nil), s.FuncDDL...)
+	c.epoch.Store(s.Epoch)
+	return nil
 }
 
 // ResolveDataset implements aqlp.Catalog.

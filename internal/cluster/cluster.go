@@ -12,6 +12,7 @@ import (
 
 	"simdb/internal/adm"
 	"simdb/internal/aqlp"
+	"simdb/internal/hyracks"
 	"simdb/internal/invindex"
 	"simdb/internal/obs"
 	"simdb/internal/obs/trace"
@@ -26,6 +27,15 @@ type Cluster struct {
 	cfg     Config
 	Catalog *Catalog
 	nodes   []*NodeController
+
+	// localNode is the node index this process hosts, or -1 when every
+	// node lives in-process (the inproc transport). In tcp mode the
+	// coordinator hosts node 0 and each worker process hosts one other
+	// node; nodes[] entries for non-local nodes are nil.
+	localNode int
+	// remote is the coordinator's handle on the worker processes in tcp
+	// mode; nil otherwise (including inside worker processes).
+	remote *remoteCoordinator
 
 	autoPK    atomic.Int64
 	tOccAlgo  atomic.Int32
@@ -68,6 +78,9 @@ type Cluster struct {
 }
 
 // New creates a cluster with fresh node storage under cfg.DataDir.
+// With Transport "tcp" it also spawns one worker process per non-zero
+// node (Config.WorkerCmd) and forms the TCP mesh before returning; this
+// process then hosts node 0 and coordinates.
 func New(cfg Config) (*Cluster, error) {
 	cfg = cfg.WithDefaults()
 	if cfg.DataDir == "" {
@@ -90,9 +103,44 @@ func New(cfg Config) (*Cluster, error) {
 			}
 		}
 	}
+	localNode := hyracks.AllNodes
+	switch cfg.Transport {
+	case "inproc":
+	case "tcp":
+		if cfg.FS != nil {
+			return nil, fmt.Errorf("cluster: the tcp transport requires FS=nil (a VFS cannot cross process boundaries)")
+		}
+		if cfg.NumNodes < 2 {
+			return nil, fmt.Errorf("cluster: the tcp transport needs NumNodes >= 2, got %d", cfg.NumNodes)
+		}
+		localNode = 0
+	default:
+		return nil, fmt.Errorf("cluster: invalid Transport %q (want inproc or tcp)", cfg.Transport)
+	}
+	c, err := newCluster(cfg, localNode)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Transport == "tcp" {
+		r, err := startRemote(c)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.remote = r
+	}
+	return c, nil
+}
+
+// newCluster builds the in-process half of a cluster. localNode < 0
+// hosts every node; otherwise only nodes[localNode] gets storage (the
+// per-process layout of tcp mode, used by both the coordinator and
+// RunWorker).
+func newCluster(cfg Config, localNode int) (*Cluster, error) {
 	c := &Cluster{
 		cfg:       cfg,
 		Catalog:   NewCatalog(),
+		localNode: localNode,
 		planCache: NewPlanCache(cfg.PlanCacheSize),
 		qm:        newQueryManager(cfg.MaxConcurrentQueries, cfg.QueryTimeout, cfg.ClusterMemoryBudget),
 		slowLog:   obs.NewLogger(os.Stderr, obs.LevelInfo),
@@ -105,6 +153,10 @@ func New(cfg Config) (*Cluster, error) {
 		c.planCache.SetEnabled(false)
 	}
 	for i := 0; i < cfg.NumNodes; i++ {
+		if localNode >= 0 && i != localNode {
+			c.nodes = append(c.nodes, nil)
+			continue
+		}
 		n, err := newNodeController(i, cfg)
 		if err != nil {
 			c.Close()
@@ -131,6 +183,15 @@ func (c *Cluster) Close() error {
 		}
 	}
 	var errs []error
+	if c.remote != nil {
+		// Stop the worker processes before local storage: their last
+		// replies are in (ddlMu excludes new work), and a clean shutdown
+		// releases every TCP port.
+		if err := c.remote.shutdown(); err != nil {
+			errs = append(errs, err)
+		}
+		c.remote = nil
+	}
 	for _, n := range c.nodes {
 		if n == nil {
 			continue
@@ -183,9 +244,16 @@ func (c *Cluster) QueryManager() *QueryManager { return c.qm }
 // Nodes returns the node controllers (read-only use).
 func (c *Cluster) Nodes() []*NodeController { return c.nodes }
 
-// nodeOfPartition maps a global partition to its node.
+// nodeOfPartition maps a global partition to its node controller (nil
+// for partitions hosted by another process in tcp mode; callers on
+// storage paths only reach partitions this process hosts).
 func (c *Cluster) nodeOfPartition(part int) *NodeController {
 	return c.nodes[part/c.cfg.PartitionsPerNode]
+}
+
+// hostsPartition reports whether this process stores partition part.
+func (c *Cluster) hostsPartition(part int) bool {
+	return c.localNode < 0 || part/c.cfg.PartitionsPerNode == c.localNode
 }
 
 // partitionOfPK hash-partitions a primary key.
@@ -269,8 +337,21 @@ func countedStrings(toks []string) []string {
 func (c *Cluster) FlushAll() error {
 	c.ddlMu.Lock()
 	defer c.ddlMu.Unlock()
+	err := c.flushLocal()
+	if c.remote != nil {
+		return errors.Join(err, c.remote.flushAll())
+	}
+	return err
+}
+
+// flushLocal flushes and quiesces every tree hosted by THIS process —
+// all nodes inproc, one node per process in tcp mode.
+func (c *Cluster) flushLocal() error {
 	var errs []error
 	for _, n := range c.nodes {
+		if n == nil {
+			continue
+		}
 		n.mu.Lock()
 		primaries := make([]*storage.LSMTree, 0, len(n.primaries))
 		for _, t := range n.primaries {
@@ -308,12 +389,25 @@ func (c *Cluster) FlushAll() error {
 // pairs, and bulk-loads them into a single component — the build path
 // Table 5 times.
 func (c *Cluster) BuildIndex(dv, ds string, ix optimizer.IndexMeta) error {
-	meta, ok := c.Catalog.Dataset(dv, ds)
-	if !ok {
+	if err := c.buildIndexLocal(dv, ds, ix); err != nil {
+		return err
+	}
+	if c.remote != nil {
+		return c.remote.buildIndex(dv, ds, ix)
+	}
+	return nil
+}
+
+// buildIndexLocal builds the index over the partitions hosted by this
+// process.
+func (c *Cluster) buildIndexLocal(dv, ds string, ix optimizer.IndexMeta) error {
+	if _, ok := c.Catalog.Dataset(dv, ds); !ok {
 		return fmt.Errorf("cluster: unknown dataset %s.%s", dv, ds)
 	}
-	_ = meta
 	for part := 0; part < c.cfg.Partitions(); part++ {
+		if !c.hostsPartition(part) {
+			continue
+		}
 		node := c.nodeOfPartition(part)
 		tree, err := node.primary(dv, ds, part)
 		if err != nil {
@@ -367,8 +461,31 @@ func (c *Cluster) BuildIndex(dv, ds string, ix optimizer.IndexMeta) error {
 // IndexStats aggregates the on-disk footprint of one index (or the
 // primary when ixName is "") across all partitions.
 func (c *Cluster) IndexStats(dv, ds, ixName string) (storage.Stats, error) {
+	total, err := c.indexStatsLocal(dv, ds, ixName)
+	if err != nil {
+		return total, err
+	}
+	if c.remote != nil {
+		rs, err := c.remote.indexStats(dv, ds, ixName)
+		if err != nil {
+			return total, err
+		}
+		total.MemEntries += rs.MemEntries
+		total.MemBytes += rs.MemBytes
+		total.DiskComponents += rs.DiskComponents
+		total.DiskEntries += rs.DiskEntries
+		total.DiskBytes += rs.DiskBytes
+	}
+	return total, nil
+}
+
+// indexStatsLocal sums the footprint over this process's partitions.
+func (c *Cluster) indexStatsLocal(dv, ds, ixName string) (storage.Stats, error) {
 	var total storage.Stats
 	for part := 0; part < c.cfg.Partitions(); part++ {
+		if !c.hostsPartition(part) {
+			continue
+		}
 		node := c.nodeOfPartition(part)
 		var s storage.Stats
 		if ixName == "" {
@@ -401,9 +518,15 @@ func (c *Cluster) DropDataset(dv, ds string) error {
 		return err
 	}
 	for _, n := range c.nodes {
+		if n == nil {
+			continue
+		}
 		if err := n.dropDataset(dv, ds); err != nil {
 			return err
 		}
+	}
+	if c.remote != nil {
+		return c.remote.dropDataset(dv, ds)
 	}
 	return nil
 }

@@ -118,8 +118,35 @@ type Config struct {
 	WALSyncInterval time.Duration
 	// FS routes all storage file operations; nil uses the real
 	// filesystem. Crash-recovery tests inject a fault-injecting
-	// implementation.
+	// implementation. Must be nil under the tcp transport: a VFS cannot
+	// cross process boundaries.
 	FS storage.VFS
+	// Transport selects how connector frames move between nodes:
+	// "inproc" (the default) keeps every node in this process and moves
+	// frames over channels, byte-identical to the pre-transport runtime;
+	// "tcp" places node controllers 1..NumNodes-1 in child worker
+	// processes and ships cross-node frames over real TCP loopback
+	// connections.
+	Transport string
+	// FrameSize is the tuple batch size per connector send (0 takes
+	// hyracks.DefaultFrameSize, 128).
+	FrameSize int
+	// ChanCap is the per-channel frame buffer — the connector
+	// backpressure bound, mirrored by the tcp transport as its
+	// per-stream credit window (0 takes hyracks.DefaultChanCap, 4).
+	ChanCap int
+	// WorkerCmd is the command line that launches one worker process in
+	// tcp mode; the child must call MaybeRunWorker early in main (or
+	// TestMain). Empty runs os.Executable() with no arguments — correct
+	// for binaries and `go test` processes that install the hook.
+	WorkerCmd []string
+	// WorkerListenAddr is the coordinator's transport listen address in
+	// tcp mode (default "127.0.0.1:0"). Workers always bind an ephemeral
+	// loopback port.
+	WorkerListenAddr string
+	// WorkerStartTimeout bounds how long New waits for the worker mesh
+	// to form (default 30s).
+	WorkerStartTimeout time.Duration
 }
 
 // WithDefaults fills unset fields.
@@ -174,6 +201,15 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.WALSyncInterval <= 0 {
 		c.WALSyncInterval = 25 * time.Millisecond
+	}
+	if c.Transport == "" {
+		c.Transport = "inproc"
+	}
+	if c.WorkerListenAddr == "" {
+		c.WorkerListenAddr = "127.0.0.1:0"
+	}
+	if c.WorkerStartTimeout <= 0 {
+		c.WorkerStartTimeout = 30 * time.Second
 	}
 	return c
 }

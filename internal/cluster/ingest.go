@@ -425,6 +425,33 @@ func (c *Cluster) InsertBatch(dv, ds string, recs []adm.Value) error {
 		}
 		ops = append(ops, op)
 	}
+	if c.remote != nil {
+		// tcp mode: routing (and auto-PK assignment) happened above on
+		// the coordinator; records owned by other nodes ship to their
+		// worker process, which runs them through its own pipeline and
+		// acknowledges after its durability barrier. Per-node slice
+		// order preserves batch order per primary key (same PK → same
+		// partition → same node).
+		local := ops[:0:0]
+		remote := map[int][][]byte{}
+		for _, op := range ops {
+			nodeID := op.part / c.cfg.PartitionsPerNode
+			if nodeID == c.localNode {
+				local = append(local, op)
+			} else {
+				remote[nodeID] = append(remote[nodeID], adm.Encode(op.rec))
+			}
+		}
+		ops = local
+		for nodeID, encs := range remote {
+			go func(nodeID int, encs [][]byte) {
+				if err := c.remote.insert(nodeID, dv, ds, encs); err != nil {
+					b.fail(err)
+				}
+				b.finish(int64(len(encs)))
+			}(nodeID, encs)
+		}
+	}
 	c.ing.enqueueBatch(b, ops)
 	<-b.done
 	// Durability barrier: start every touched partition's fsync before

@@ -141,6 +141,11 @@ func (c *Cluster) Metrics() obs.Snapshot {
 	var cacheHits, cacheMisses, cacheEvictions, pagesRead int64
 	var walSegments int64
 	for _, n := range c.nodes {
+		if n == nil {
+			// tcp mode: this node lives in another process; its storage
+			// gauges are that process's to report.
+			continue
+		}
 		walSegments += int64(n.WALSegments())
 		cs := n.CacheStats()
 		cacheHits += cs.Hits

@@ -307,7 +307,7 @@ func (c *Cluster) execute(ctx context.Context, sess *Session, src string, admitN
 			sp := qr.tr.StartSpan(trace.RootSpan, "plan-copy", trace.CatPhase)
 			plan, _ := algebra.Copy(e.plan, &algebra.VarAlloc{})
 			sp.End()
-			return c.runJob(ctx, plan, stats, src, e.post.Profile, e.post.Opts.MemoryBudgetBytes, qr)
+			return c.runJob(ctx, plan, stats, src, e.post, qr)
 		}
 	}
 
@@ -328,6 +328,13 @@ func (c *Cluster) execute(ctx context.Context, sess *Session, src string, admitN
 	for _, stmt := range q.Stmts {
 		switch stmt.(type) {
 		case aqlp.UseStmt, aqlp.SetStmt:
+		case aqlp.CreateFunctionStmt:
+			cacheable = false
+			// Log the raw source BEFORE applying: catalog snapshots
+			// replicate UDFs to worker processes by replaying these
+			// sources, and a snapshot cut between SetFunc and the note
+			// would otherwise ship the bumped epoch without the function.
+			c.Catalog.noteFuncDDL(src)
 		default:
 			cacheable = false
 		}
@@ -403,7 +410,7 @@ func (c *Cluster) execute(ctx context.Context, sess *Session, src string, admitN
 			cornerCases: stats.CornerCaseFallbacks,
 		})
 	}
-	res, err := c.runJob(ctx, plan, stats, src, st.Profile, st.Opts.MemoryBudgetBytes, qr)
+	res, err := c.runJob(ctx, plan, stats, src, st, qr)
 	if err == nil && q.Analyze {
 		res.Stats.QueryID = qr.id
 		if res.Profile != nil {
@@ -563,13 +570,21 @@ func (c *Cluster) compileState(st sessionState, body aqlp.Node) (*algebra.Op, *Q
 }
 
 // runJob generates and executes the hyracks job for a compiled plan,
-// filling in the runtime half of stats. With profile set, the runtime
-// collects one span per operator instance and the result carries the
-// assembled QueryProfile. A positive memBudget runs the job under a
-// memory accountant with a per-query spill directory; the directory is
-// removed before returning on every path (success, error, cancel,
-// timeout, panic).
-func (c *Cluster) runJob(ctx context.Context, plan *algebra.Op, stats *QueryStats, src string, profile bool, memBudget int64, qr *queryRun) (*Result, error) {
+// filling in the runtime half of stats. With st.Profile set, the
+// runtime collects one span per operator instance and the result
+// carries the assembled QueryProfile. A positive memory budget runs the
+// job under a memory accountant with a per-query spill directory; the
+// directory is removed before returning on every path (success, error,
+// cancel, timeout, panic).
+//
+// In tcp mode the job is dispatched to every worker process BEFORE the
+// local run starts: the local run hosts node 0's instances (among them
+// the collector) and is what drains the frames the workers ship here.
+// Workers recompile the shipped request text to the identical DAG; the
+// coordinator merges their stats halves into the result.
+func (c *Cluster) runJob(ctx context.Context, plan *algebra.Op, stats *QueryStats, src string, st sessionState, qr *queryRun) (*Result, error) {
+	profile := st.Profile
+	memBudget := st.Opts.MemoryBudgetBytes
 	qr.setPhase(phaseJobGen)
 	counters := &QueryCounters{}
 	t0 := time.Now()
@@ -585,6 +600,8 @@ func (c *Cluster) runJob(ctx context.Context, plan *algebra.Op, stats *QueryStat
 		PartsPerNode:    c.cfg.PartitionsPerNode,
 		NetFrameLatency: time.Duration(c.simNetLat.Load()),
 		CollectSpans:    profile,
+		FrameSize:       c.cfg.FrameSize,
+		ChanCap:         c.cfg.ChanCap,
 	}
 	if acct := hyracks.NewMemoryAccountant(memBudget); acct != nil {
 		spill := storage.NewRunFileManager(
@@ -597,6 +614,23 @@ func (c *Cluster) runJob(ctx context.Context, plan *algebra.Op, stats *QueryStat
 			qr.aq.mem.Store(acct)
 		}
 	}
+	var remoteCh <-chan remoteJobResult
+	if c.remote != nil {
+		topo.Transport = c.remote.net
+		topo.JobID = qr.id
+		rctx, cancelLocal := context.WithCancel(ctx)
+		defer cancelLocal()
+		ctx = rctx
+		remoteCh = c.remote.startJob(ctx, cancelLocal, jobReq{
+			JobID:        qr.id,
+			Src:          src,
+			State:        st,
+			Epoch:        c.Catalog.Epoch(),
+			MemBudget:    memBudget,
+			CollectSpans: profile,
+			TOccAlgo:     c.tOccAlgo.Load(),
+		})
+	}
 	qr.setPhase(phaseExecute)
 	execSpan := qr.tr.StartSpan(trace.RootSpan, "execute", trace.CatPhase)
 	topo.Trace = qr.tr
@@ -607,6 +641,27 @@ func (c *Cluster) runJob(ctx context.Context, plan *algebra.Op, stats *QueryStat
 	pprof.Do(ctx, pprof.Labels("query_id", strconv.FormatUint(qr.id, 10)), func(ctx context.Context) {
 		jstats, err = hyracks.Run(ctx, job, topo)
 	})
+	if remoteCh != nil {
+		if err != nil {
+			// The local half died (error or cancellation): abort the
+			// workers' halves too, or their senders would wait forever on
+			// flow-control credit for frames node 0 no longer drains.
+			c.remote.cancelJob(qr.id)
+		}
+		rres := <-remoteCh
+		c.remote.net.EndJob(qr.id)
+		if err == nil {
+			err = rres.err
+		}
+		if err == nil {
+			for _, ws := range rres.stats {
+				jstats.Merge(ws)
+			}
+			for _, cv := range rres.counters {
+				mergeCounters(counters, cv)
+			}
+		}
+	}
 	if jstats != nil {
 		execSpan.End(
 			trace.I("bytes_shuffled", jstats.BytesShuffled),

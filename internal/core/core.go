@@ -104,6 +104,22 @@ type Config struct {
 	// (Prometheus), /queries (+ cancel), /traces, /slowlog, and
 	// /debug/pprof. Empty (the default) starts no listener.
 	DebugAddr string
+	// Transport selects how query frames move between nodes: "inproc"
+	// (default; every node in this process, channel semantics) or "tcp"
+	// (nodes 1..NumNodes-1 run as child worker processes and frames ship
+	// over real TCP loopback). The tcp transport requires the embedding
+	// binary to call cluster.MaybeRunWorker at the top of main.
+	Transport string
+	// FrameSize is the tuple batch size per connector send (0 takes the
+	// hyracks default, 128).
+	FrameSize int
+	// ChanCap is the per-channel frame buffer — the connector
+	// backpressure bound, mirrored by the tcp transport as its
+	// per-stream credit window (0 takes the hyracks default, 4).
+	ChanCap int
+	// WorkerCmd overrides the command line that launches tcp-mode worker
+	// processes; empty runs this executable again.
+	WorkerCmd []string
 }
 
 // Database is an open SimDB instance.
@@ -129,6 +145,15 @@ type Session = cluster.Session
 
 // OptimizerOptions re-exports the ablation knobs.
 type OptimizerOptions = optimizer.Options
+
+// MaybeRunWorker checks whether this process was launched as a
+// tcp-transport worker (the coordinator sets an environment marker on
+// the child it spawns) and, if so, runs the worker loop and exits —
+// never returning. Binaries that open a database with Transport "tcp"
+// must call this at the top of main, before flag parsing.
+func MaybeRunWorker() {
+	cluster.MaybeRunWorker()
+}
 
 // Open creates (or reopens) a database under cfg.DataDir.
 func Open(cfg Config) (*Database, error) {
@@ -163,6 +188,10 @@ func Open(cfg Config) (*Database, error) {
 		StallThreshold:          cfg.StallThreshold,
 		WALSyncMode:             cfg.WALSyncMode,
 		StorageFormat:           cfg.StorageFormat,
+		Transport:               cfg.Transport,
+		FrameSize:               cfg.FrameSize,
+		ChanCap:                 cfg.ChanCap,
+		WorkerCmd:               cfg.WorkerCmd,
 	})
 	if err != nil {
 		return nil, err

@@ -34,6 +34,10 @@ type OpStats struct {
 // simulated network traffic. The cluster layer's cost model combines
 // these into an estimated parallel makespan for the scale-out and
 // speed-up experiments.
+//
+// Under a multi-process Transport each process fills only the slots of
+// instances it ran; the coordinator merges the partial JobStats of
+// every process into the query's totals.
 type JobStats struct {
 	WallNs        int64
 	PerNodeBusyNs []int64
@@ -91,29 +95,90 @@ func (s *JobStats) TotalBusyNs() int64 {
 	return sum
 }
 
-// edge carries the channel plumbing for one (producer port, consumer
-// port) connection.
+// Merge folds another process's partial JobStats for the same job into
+// s: per-node and per-operator figures add element-wise (each instance
+// ran in exactly one process, so slots never overlap), traffic totals
+// add (bytes are counted on the sending side only), operator wall
+// times take the slowest instance, and spans append.
+func (s *JobStats) Merge(o *JobStats) {
+	if o == nil {
+		return
+	}
+	for i := range o.PerNodeBusyNs {
+		if i < len(s.PerNodeBusyNs) {
+			s.PerNodeBusyNs[i] += o.PerNodeBusyNs[i]
+		}
+	}
+	for i := range o.PerNodeTuples {
+		if i < len(s.PerNodeTuples) {
+			s.PerNodeTuples[i] += o.PerNodeTuples[i]
+		}
+	}
+	s.BytesShuffled += o.BytesShuffled
+	s.NetMessages += o.NetMessages
+	for i := range o.Ops {
+		if i >= len(s.Ops) {
+			break
+		}
+		dst, src := &s.Ops[i], &o.Ops[i]
+		dst.Instances += src.Instances
+		dst.TuplesIn += src.TuplesIn
+		dst.TuplesOut += src.TuplesOut
+		dst.BusyNs += src.BusyNs
+		dst.FramesSent += src.FramesSent
+		dst.BytesMoved += src.BytesMoved
+		dst.SpillRuns += src.SpillRuns
+		dst.SpilledBytes += src.SpilledBytes
+		if src.WallNs > dst.WallNs {
+			dst.WallNs = src.WallNs
+		}
+	}
+	s.Spans = append(s.Spans, o.Spans...)
+}
+
+// edge carries the plumbing for one (producer port, consumer port)
+// connection: in-process channels for pairs whose two ends live in
+// this process, transport streams for pairs that cross processes.
 type edge struct {
+	idx       int // deterministic edge index, part of every StreamID
 	spec      ConnectorSpec
 	prodParts int
 	consParts int
-	plain     []*refCountedChan // nil for merging connectors
-	merged    [][]chan frame    // merged[consumer][producer]
+	plain     []*refCountedChan // per consumer; nil for merging connectors or non-local consumers
+	merged    [][]chan frame    // merged[consumer][producer]; nil rows for non-local consumers
+	senders   [][]FrameSender   // senders[producer][consumer]; nil without cross-process pairs
+	prodNodes []int
 	consNodes []int
 }
 
+// forwarder bridges one inbound transport stream into the consumer-side
+// channel the PortReader drains.
+type forwarder struct {
+	recv FrameReceiver
+	ch   chan frame      // merging edge: this producer's private channel (closed at EOS)
+	rc   *refCountedChan // plain edge: shared channel (done() at EOS)
+}
+
 // Run executes the job on the topology and blocks until every operator
-// instance finishes. The first operator error cancels the job and is
-// returned.
+// instance placed on this process's node finishes (every instance, when
+// no Transport restricts placement). The first operator error cancels
+// the job and is returned.
 func Run(ctx context.Context, job *Job, topo Topology) (*JobStats, error) {
 	start := time.Now()
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	var bytesShuffled, netMessages atomic.Int64
+	tr := topo.Transport
+	chanCap := topo.chanCap()
 
 	// Validate and build edges, indexed by (consumer op, input port).
+	// Edge indexes are assigned in DAG construction order, so every
+	// process compiling the same job derives identical StreamIDs.
 	edges := make(map[*OpNode][]*edge)
+	var forwarders []*forwarder
+	nextEdge := 0
+	nLocalStreams, nRemoteStreams := 0, 0
 	for _, n := range job.nodes {
 		if n.Parts < 1 {
 			return nil, fmt.Errorf("hyracks: op %s has %d partitions", n.Name, n.Parts)
@@ -133,27 +198,84 @@ func Run(ctx context.Context, job *Job, topo Topology) (*JobStats, error) {
 					return nil, fmt.Errorf("hyracks: %v into %s with %d parts", spec.Type, n.Name, n.Parts)
 				}
 			}
-			e := &edge{spec: spec, prodParts: in.From.Parts, consParts: n.Parts}
+			e := &edge{idx: nextEdge, spec: spec, prodParts: in.From.Parts, consParts: n.Parts}
+			nextEdge++
+			e.prodNodes = make([]int, in.From.Parts)
+			for p := range e.prodNodes {
+				e.prodNodes[p] = topo.NodeOf(p, in.From.Parts)
+			}
 			e.consNodes = make([]int, n.Parts)
 			for c := 0; c < n.Parts; c++ {
 				e.consNodes[c] = topo.NodeOf(c, n.Parts)
 			}
-			if spec.Type == HashMerge || spec.Type == MergeOne {
+			merging := spec.Type == HashMerge || spec.Type == MergeOne
+			if merging {
 				e.merged = make([][]chan frame, n.Parts)
-				for c := range e.merged {
-					e.merged[c] = make([]chan frame, in.From.Parts)
-					for p := range e.merged[c] {
-						e.merged[c][p] = make(chan frame, chanCap)
-					}
-				}
 			} else {
 				e.plain = make([]*refCountedChan, n.Parts)
-				for c := range e.plain {
-					e.plain[c] = &refCountedChan{ch: make(chan frame, chanCap), remaining: in.From.Parts}
+			}
+			for c := 0; c < n.Parts; c++ {
+				if topo.hostsNode(e.consNodes[c]) {
+					// Local consumer: channels for every producer — local
+					// producers write them directly, remote producers feed
+					// them through a forwarder goroutine per stream.
+					var rc *refCountedChan
+					if merging {
+						e.merged[c] = make([]chan frame, in.From.Parts)
+						for p := range e.merged[c] {
+							e.merged[c][p] = make(chan frame, chanCap)
+						}
+					} else {
+						rc = &refCountedChan{ch: make(chan frame, chanCap), remaining: in.From.Parts}
+						e.plain[c] = rc
+					}
+					for p := 0; p < in.From.Parts; p++ {
+						if topo.hostsNode(e.prodNodes[p]) {
+							nLocalStreams++
+							continue
+						}
+						recv, err := tr.OpenRecv(StreamID{Job: topo.JobID, Edge: e.idx, Prod: p, Cons: c}, e.prodNodes[p])
+						if err != nil {
+							return nil, fmt.Errorf("hyracks: open recv stream for %s: %w", n.Name, err)
+						}
+						fw := &forwarder{recv: recv}
+						if merging {
+							fw.ch = e.merged[c][p]
+						} else {
+							fw.rc = rc
+						}
+						forwarders = append(forwarders, fw)
+					}
+					continue
+				}
+				// Remote consumer: local producers send through the
+				// transport; no channels exist on this side.
+				for p := 0; p < in.From.Parts; p++ {
+					if !topo.hostsNode(e.prodNodes[p]) {
+						continue
+					}
+					s, err := tr.OpenSend(StreamID{Job: topo.JobID, Edge: e.idx, Prod: p, Cons: c}, e.consNodes[c])
+					if err != nil {
+						return nil, fmt.Errorf("hyracks: open send stream for %s: %w", n.Name, err)
+					}
+					if e.senders == nil {
+						e.senders = make([][]FrameSender, in.From.Parts)
+					}
+					if e.senders[p] == nil {
+						e.senders[p] = make([]FrameSender, n.Parts)
+					}
+					e.senders[p][c] = s
+					nRemoteStreams++
 				}
 			}
 			edges[n] = append(edges[n], e)
 		}
+	}
+	if nLocalStreams > 0 {
+		inprocStreams.Add(int64(nLocalStreams))
+	}
+	if nRemoteStreams > 0 {
+		remoteStreams.Add(int64(nRemoteStreams))
 	}
 
 	// Output edges per (producer, port). Each output port must feed
@@ -203,14 +325,45 @@ func Run(ctx context.Context, job *Job, topo Topology) (*JobStats, error) {
 	}
 
 	var wg sync.WaitGroup
+	for _, fw := range forwarders {
+		fw := fw
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ch := fw.ch
+			if ch == nil {
+				ch = fw.rc.ch
+			}
+		loop:
+			for {
+				ts, ok := fw.recv.Recv(runCtx)
+				if !ok {
+					break
+				}
+				select {
+				case ch <- frame{tuples: ts}:
+				case <-runCtx.Done():
+					break loop
+				}
+			}
+			if fw.ch != nil {
+				close(fw.ch)
+			} else {
+				fw.rc.done()
+			}
+		}()
+	}
 	for _, n := range job.nodes {
 		n := n
 		for p := 0; p < n.Parts; p++ {
 			p := p
+			node := topo.NodeOf(p, n.Parts)
+			if !topo.hostsNode(node) {
+				continue
+			}
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				node := topo.NodeOf(p, n.Parts)
 				var recvWait int64
 
 				instState := reg.add(n.Name, p)
@@ -240,15 +393,21 @@ func Run(ctx context.Context, job *Job, topo Topology) (*JobStats, error) {
 						prodPart:      p,
 						prodNode:      node,
 						consNodes:     e.consNodes,
+						frameSize:     topo.frameSize(),
 						netLatency:    topo.NetFrameLatency,
 						bufs:          make([][]Tuple, e.consParts),
 						bytesShuffled: &bytesShuffled,
 						netMessages:   &netMessages,
 					}
+					if e.senders != nil {
+						em.senders = e.senders[p]
+					}
 					if e.merged != nil {
 						em.merged = make([]chan frame, e.consParts)
 						for c := 0; c < e.consParts; c++ {
-							em.merged[c] = e.merged[c][p]
+							if e.merged[c] != nil {
+								em.merged[c] = e.merged[c][p]
+							}
 						}
 					} else {
 						em.plain = e.plain
@@ -266,16 +425,32 @@ func Run(ctx context.Context, job *Job, topo Topology) (*JobStats, error) {
 					pr.Drain()
 				}
 				var tuplesOut, sendWait, frames, crossBytes int64
+				var remoteF, remoteB int64
 				for _, em := range outs {
 					em.Close()
 					tuplesOut += em.tuplesOut
 					sendWait += em.sendWaitNs
 					frames += em.framesSent
 					crossBytes += em.crossBytes
+					remoteF += em.remoteFrames
+					remoteB += em.remoteBytesN
+					if err == nil && em.sendErr != nil {
+						err = em.sendErr
+					}
 				}
 				var tuplesIn int64
 				for _, pr := range ins {
 					tuplesIn += pr.tuplesIn
+				}
+				if frames > remoteF {
+					inprocFrames.Add(frames - remoteF)
+				}
+				if crossBytes > remoteB {
+					inprocBytes.Add(crossBytes - remoteB)
+				}
+				if remoteF > 0 {
+					remoteFrames.Add(remoteF)
+					remoteBytes.Add(remoteB)
 				}
 				instState.finish()
 				wall := time.Since(t0).Nanoseconds()

@@ -42,11 +42,14 @@ type frame struct {
 	tuples []Tuple
 }
 
-// frameSize is the tuple batch size per channel send.
-const frameSize = 128
+// DefaultFrameSize is the tuple batch size per connector send when
+// Topology.FrameSize is unset.
+const DefaultFrameSize = 128
 
-// chanCap is the per-channel frame buffer (backpressure bound).
-const chanCap = 4
+// DefaultChanCap is the per-channel frame buffer (backpressure bound)
+// when Topology.ChanCap is unset. The TCP transport mirrors this bound
+// as its per-stream flow-control credit window.
+const DefaultChanCap = 4
 
 // SortCol names a sort column and direction for merging connectors and
 // sort operators.
@@ -132,8 +135,8 @@ func (r *PortReader) Next() (Tuple, bool) {
 }
 
 // NextBatch returns the next run of tuples from the port: the unread
-// remainder of the current frame for plain ports (zero-copy, up to
-// frameSize tuples), or a single tuple for merging ports (batching
+// remainder of the current frame for plain ports (zero-copy, up to one
+// frame's worth), or a single tuple for merging ports (batching
 // would break the merge order). ok=false means exhausted or cancelled,
 // like Next. The returned slice is valid only until the next call;
 // batch-oriented operators iterate it in place to amortize per-tuple

@@ -167,6 +167,39 @@ type Topology struct {
 	// Spill, when non-nil, provides the temp run-file store operators
 	// spill to once Mem denies a reservation.
 	Spill *storage.RunFileManager
+	// FrameSize overrides the tuple batch size per connector send;
+	// 0 takes DefaultFrameSize.
+	FrameSize int
+	// ChanCap overrides the per-channel frame buffer — the backpressure
+	// bound, mirrored by the TCP transport as its per-stream credit
+	// window; 0 takes DefaultChanCap.
+	ChanCap int
+	// Transport, when non-nil, carries frames between nodes hosted by
+	// different processes: Run executes only the instances placed on
+	// Transport.LocalNode() and bridges cross-process edges through
+	// sender/receiver streams. nil (the default) keeps every edge on
+	// in-process channels, byte-identical to the pre-transport runtime.
+	Transport Transport
+	// JobID namespaces this job's transport streams. Every process
+	// running the same job must pass the same value; unused without a
+	// Transport.
+	JobID uint64
+}
+
+// frameSize returns the effective connector batch size.
+func (t Topology) frameSize() int {
+	if t.FrameSize > 0 {
+		return t.FrameSize
+	}
+	return DefaultFrameSize
+}
+
+// chanCap returns the effective per-channel frame buffer.
+func (t Topology) chanCap() int {
+	if t.ChanCap > 0 {
+		return t.ChanCap
+	}
+	return DefaultChanCap
 }
 
 // NodeOf returns the node hosting partition p of an operator with n
@@ -205,17 +238,22 @@ type Emitter struct {
 	prodNode      int
 	consNodes     []int // node of each consumer instance
 	plain         []*refCountedChan
-	merged        []chan frame // merged[consumer]: this producer's private channel
+	merged        []chan frame  // merged[consumer]: this producer's private channel
+	senders       []FrameSender // senders[consumer]: transport stream to a remote node
 	bufs          [][]Tuple
 	state         *instanceState
 	closed        bool
+	frameSize     int
 	netLatency    time.Duration
+	sendErr       error // first transport-send failure; surfaced by the executor
 	sendWaitNs    int64 // owned by this emitter; summed by the executor
 	bytesShuffled *atomic.Int64
 	netMessages   *atomic.Int64
 	tuplesOut     int64
 	framesSent    int64 // frames flushed by this instance (local + remote)
 	crossBytes    int64 // cross-node bytes this instance moved
+	remoteFrames  int64 // frames that left the process over the transport
+	remoteBytesN  int64 // actual wire bytes of those frames
 }
 
 // Emit routes one tuple. The tuple must not be modified afterwards.
@@ -243,7 +281,7 @@ func (e *Emitter) Emit(t Tuple) {
 
 func (e *Emitter) buffer(dest int, t Tuple) {
 	e.bufs[dest] = append(e.bufs[dest], t)
-	if len(e.bufs[dest]) >= frameSize {
+	if len(e.bufs[dest]) >= e.frameSize {
 		e.flush(dest)
 	}
 }
@@ -255,6 +293,28 @@ func (e *Emitter) flush(dest int) {
 	}
 	e.bufs[dest] = nil
 	e.framesSent++
+	if e.senders != nil && e.senders[dest] != nil {
+		// Remote consumer: ship the frame over the transport, charging
+		// the actual wire bytes (framing header + encoded payload) —
+		// not the EncodedSize estimate — and skipping the simulated
+		// latency (the wire is real here). Send blocks on flow-control
+		// credit, mirroring the channel path's backpressure.
+		t0 := time.Now()
+		n, err := e.senders[dest].Send(e.ctx, buf)
+		e.sendWaitNs += time.Since(t0).Nanoseconds()
+		if err != nil {
+			if e.sendErr == nil {
+				e.sendErr = err
+			}
+			return
+		}
+		e.bytesShuffled.Add(int64(n))
+		e.netMessages.Add(1)
+		e.crossBytes += int64(n)
+		e.remoteFrames++
+		e.remoteBytesN += int64(n)
+		return
+	}
 	if e.prodNode != e.consNodes[dest] {
 		n := 0
 		for _, t := range buf {
@@ -296,13 +356,24 @@ func (e *Emitter) Close() {
 	for d := range e.bufs {
 		e.flush(d)
 	}
+	for _, s := range e.senders {
+		if s != nil {
+			// End-of-stream to a remote consumer; its forwarder releases
+			// the consumer-side channel.
+			s.Close()
+		}
+	}
 	if e.merged != nil {
 		for _, ch := range e.merged {
-			close(ch)
+			if ch != nil {
+				close(ch)
+			}
 		}
 		return
 	}
 	for _, rc := range e.plain {
-		rc.done()
+		if rc != nil {
+			rc.done()
+		}
 	}
 }

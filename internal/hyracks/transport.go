@@ -1,0 +1,85 @@
+package hyracks
+
+import (
+	"context"
+
+	"simdb/internal/obs"
+)
+
+// AllNodes is the Transport.LocalNode value of a transport hosting
+// every node of the topology in this process (the inproc case).
+const AllNodes = -1
+
+// StreamID names one connector stream: the frames flowing from one
+// producer instance to one consumer instance across one edge of one
+// job. Edge indexes are assigned deterministically by Run in DAG
+// construction order, so every process compiling the same job derives
+// identical stream IDs without coordination.
+type StreamID struct {
+	Job  uint64
+	Edge int
+	Prod int // producer partition
+	Cons int // consumer partition
+}
+
+// FrameSender ships frames of one stream toward a remote consumer.
+type FrameSender interface {
+	// Send ships one frame and returns the actual wire bytes written
+	// (framing header included). It blocks while the stream is out of
+	// flow-control credit; ctx cancellation aborts the wait.
+	Send(ctx context.Context, tuples []Tuple) (int, error)
+	// Close marks end-of-stream. Idempotent.
+	Close() error
+}
+
+// FrameReceiver yields the frames of one stream arriving from a remote
+// producer.
+type FrameReceiver interface {
+	// Recv returns the next frame; ok=false at end-of-stream, on ctx
+	// cancellation, or on transport failure.
+	Recv(ctx context.Context) ([]Tuple, bool)
+}
+
+// Transport moves frames between the nodes of a topology. A nil
+// Transport in the Topology (or one whose LocalNode is AllNodes with no
+// remote peers) keeps every edge on in-process channels — the default,
+// byte-identical to the pre-transport runtime. A real transport hosts
+// one node per process: Run skips operator instances placed on other
+// nodes and bridges cross-process edges through sender/receiver pairs.
+type Transport interface {
+	// Kind labels the transport for metrics ("inproc", "tcp").
+	Kind() string
+	// LocalNode is the node index this process hosts, or AllNodes.
+	LocalNode() int
+	// OpenSend opens the sending half of a stream toward toNode.
+	OpenSend(id StreamID, toNode int) (FrameSender, error)
+	// OpenRecv opens the receiving half of a stream from fromNode.
+	OpenRecv(id StreamID, fromNode int) (FrameReceiver, error)
+}
+
+// Transport-layer counters, aggregated once per operator instance (and
+// once per job for stream counts) so the hot send path stays free of
+// extra atomics. Exposed through the obs snapshot and /metrics.
+var (
+	inprocFrames  = obs.C("hyracks.transport.inproc.frames")
+	inprocBytes   = obs.C("hyracks.transport.inproc.bytes")
+	inprocStreams = obs.C("hyracks.transport.inproc.streams")
+	remoteFrames  = obs.C("hyracks.transport.tcp.frames")
+	remoteBytes   = obs.C("hyracks.transport.tcp.bytes")
+	remoteStreams = obs.C("hyracks.transport.tcp.streams")
+)
+
+// localNode reports the node this process hosts (AllNodes when the
+// whole topology runs in-process).
+func (t Topology) localNode() int {
+	if t.Transport == nil {
+		return AllNodes
+	}
+	return t.Transport.LocalNode()
+}
+
+// hostsNode reports whether this process runs instances placed on node.
+func (t Topology) hostsNode(node int) bool {
+	ln := t.localNode()
+	return ln == AllNodes || ln == node
+}

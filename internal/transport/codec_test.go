@@ -1,0 +1,275 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"simdb/internal/adm"
+	"simdb/internal/hyracks"
+)
+
+// randValue builds a random adm value (depth-bounded for nested kinds).
+func randValue(r *rand.Rand, depth int) adm.Value {
+	k := r.Intn(7)
+	if depth <= 0 && k >= 5 {
+		k = r.Intn(5)
+	}
+	switch k {
+	case 0:
+		return adm.Null
+	case 1:
+		return adm.NewBool(r.Intn(2) == 0)
+	case 2:
+		return adm.NewInt(int64(r.Uint64()))
+	case 3:
+		return adm.NewDouble(r.NormFloat64())
+	case 4:
+		b := make([]byte, r.Intn(20))
+		for i := range b {
+			b[i] = byte('a' + r.Intn(26))
+		}
+		return adm.NewString(string(b))
+	case 5:
+		n := r.Intn(4)
+		arr := make([]adm.Value, n)
+		for i := range arr {
+			arr[i] = randValue(r, depth-1)
+		}
+		return adm.NewList(arr)
+	default:
+		n := r.Intn(3)
+		names := make([]string, n)
+		vals := make([]adm.Value, n)
+		for i := 0; i < n; i++ {
+			names[i] = fmt.Sprintf("f%d", i)
+			vals[i] = randValue(r, depth-1)
+		}
+		return adm.NewRecord(adm.NewRecordFromFields(names, vals))
+	}
+}
+
+func randTuples(r *rand.Rand, maxTuples int) []hyracks.Tuple {
+	n := r.Intn(maxTuples + 1)
+	out := make([]hyracks.Tuple, n)
+	for i := range out {
+		cols := r.Intn(6)
+		t := make(hyracks.Tuple, cols)
+		for c := range t {
+			t[c] = randValue(r, 2)
+		}
+		out[i] = t
+	}
+	return out
+}
+
+func randStreamID(r *rand.Rand) hyracks.StreamID {
+	return hyracks.StreamID{
+		Job:  r.Uint64() >> 1,
+		Edge: r.Intn(1 << 16),
+		Prod: r.Intn(1 << 10),
+		Cons: r.Intn(1 << 10),
+	}
+}
+
+// TestFrameRoundTrip is the codec property test: encode/decode over many
+// random stream ids and tuple batches must be the identity.
+func TestFrameRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		id := randStreamID(r)
+		tuples := randTuples(r, 32)
+		payload := EncodeFramePayload(id, tuples)
+		gotID, gotTuples, err := DecodeFramePayload(payload)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if gotID != id {
+			t.Fatalf("trial %d: stream id %v != %v", trial, gotID, id)
+		}
+		if len(gotTuples) != len(tuples) {
+			t.Fatalf("trial %d: %d tuples != %d", trial, len(gotTuples), len(tuples))
+		}
+		for i := range tuples {
+			if len(gotTuples[i]) != len(tuples[i]) {
+				t.Fatalf("trial %d tuple %d: %d cols != %d", trial, i, len(gotTuples[i]), len(tuples[i]))
+			}
+			for c := range tuples[i] {
+				if !adm.Equal(gotTuples[i][c], tuples[i][c]) {
+					t.Fatalf("trial %d tuple %d col %d: %v != %v", trial, i, c, gotTuples[i][c], tuples[i][c])
+				}
+			}
+		}
+	}
+}
+
+// TestMessageRoundTrip checks wire framing and that the reported size is
+// the actual wire size.
+func TestMessageRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	var buf bytes.Buffer
+	var payloads [][]byte
+	total := 0
+	for i := 0; i < 50; i++ {
+		p := EncodeFramePayload(randStreamID(r), randTuples(r, 8))
+		n, err := WriteMessage(&buf, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != headerSize+len(p) {
+			t.Fatalf("reported %d bytes, want %d", n, headerSize+len(p))
+		}
+		total += n
+		payloads = append(payloads, p)
+	}
+	if buf.Len() != total {
+		t.Fatalf("stream holds %d bytes, reported %d", buf.Len(), total)
+	}
+	for i, want := range payloads {
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("message %d: payload mismatch", i)
+		}
+	}
+	if _, err := ReadMessage(&buf); err != io.EOF {
+		t.Fatalf("want EOF after last message, got %v", err)
+	}
+}
+
+// TestTornMessage checks every truncation point of a framed message is
+// rejected rather than misparsed.
+func TestTornMessage(t *testing.T) {
+	p := EncodeFramePayload(hyracks.StreamID{Job: 7, Edge: 1, Prod: 0, Cons: 2},
+		[]hyracks.Tuple{
+			{adm.NewInt(1), adm.NewString("x")},
+			{adm.NewInt(2), adm.NewString("y")},
+		})
+	var full bytes.Buffer
+	if _, err := WriteMessage(&full, p); err != nil {
+		t.Fatal(err)
+	}
+	wire := full.Bytes()
+	for cut := 0; cut < len(wire); cut++ {
+		_, err := ReadMessage(bytes.NewReader(wire[:cut]))
+		if err == nil {
+			t.Fatalf("cut at %d: want error, got none", cut)
+		}
+	}
+}
+
+// TestCorruptCRC flips each byte of the payload in turn; every flip must
+// be caught by the checksum.
+func TestCorruptCRC(t *testing.T) {
+	p := EncodeFramePayload(hyracks.StreamID{Job: 9},
+		[]hyracks.Tuple{{adm.NewInt(42), adm.NewDouble(3.14), adm.NewString("abc")}})
+	var full bytes.Buffer
+	if _, err := WriteMessage(&full, p); err != nil {
+		t.Fatal(err)
+	}
+	wire := full.Bytes()
+	for i := headerSize; i < len(wire); i++ {
+		mut := append([]byte(nil), wire...)
+		mut[i] ^= 0xFF
+		if _, err := ReadMessage(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("flipped payload byte %d: CRC not caught", i)
+		}
+	}
+	// Corrupting the stored CRC itself must also fail.
+	mut := append([]byte(nil), wire...)
+	mut[5] ^= 0x01
+	if _, err := ReadMessage(bytes.NewReader(mut)); err == nil {
+		t.Fatal("corrupt CRC field not caught")
+	}
+}
+
+// TestOversizeLength rejects a hostile length prefix without allocating.
+func TestOversizeLength(t *testing.T) {
+	hdr := make([]byte, headerSize)
+	hdr[0], hdr[1], hdr[2], hdr[3] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, err := ReadMessage(bytes.NewReader(hdr)); err == nil {
+		t.Fatal("oversize length accepted")
+	}
+}
+
+// TestDecodeRejectsGarbage: wrong type byte, trailing bytes, and lying
+// counts must all error instead of panicking or over-allocating.
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, _, err := DecodeFramePayload(nil); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+	if _, _, err := DecodeFramePayload([]byte{MsgEOS, 0, 0, 0, 0}); err == nil {
+		t.Fatal("wrong type byte accepted")
+	}
+	good := EncodeFramePayload(hyracks.StreamID{Job: 1}, []hyracks.Tuple{{adm.NewInt(5)}})
+	if _, _, err := DecodeFramePayload(append(good, 0x00)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	// A tuple count far beyond what the payload could hold.
+	lie := append([]byte{MsgFrame}, 0, 0, 0, 0)
+	lie = append(lie, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F)
+	if _, _, err := DecodeFramePayload(lie); err == nil {
+		t.Fatal("lying tuple count accepted")
+	}
+}
+
+// TestHelloRoundTrip covers the handshake codec.
+func TestHelloRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		node int
+		addr string
+	}{{0, ""}, {3, "127.0.0.1:9000"}, {255, "[::1]:65535"}} {
+		node, addr, err := decodeHello(encodeHello(tc.node, tc.addr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if node != tc.node || addr != tc.addr {
+			t.Fatalf("got (%d,%q) want (%d,%q)", node, addr, tc.node, tc.addr)
+		}
+	}
+	if _, _, err := decodeHello([]byte{MsgHello, 1, 5, 'a'}); err == nil {
+		t.Fatal("truncated hello address accepted")
+	}
+}
+
+// FuzzFrameDecode fuzzes the frame decoder. Seeds are payloads of
+// realistic job frames (mixed scalar/nested columns, empty batches) so
+// mutation explores near-valid inputs; the decoder must never panic and
+// every accepted payload must re-encode to an equivalent frame.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeFramePayload(hyracks.StreamID{}, nil))
+	f.Add(EncodeFramePayload(hyracks.StreamID{Job: 1, Edge: 2, Prod: 3, Cons: 4},
+		[]hyracks.Tuple{
+			{adm.NewInt(1), adm.NewString("doc"), adm.NewDouble(0.93)},
+			{adm.NewInt(2), adm.NewString("vec"), adm.NewDouble(0.41)},
+		}))
+	f.Add(EncodeFramePayload(hyracks.StreamID{Job: 42, Edge: 1},
+		[]hyracks.Tuple{{
+			adm.NewRecord(adm.NewRecordFromFields(
+				[]string{"id", "title"}, []adm.Value{adm.NewInt(7), adm.NewString("paper")})),
+			adm.NewStringList([]string{"sim", "query"}),
+		}}))
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 4; i++ {
+		f.Add(EncodeFramePayload(randStreamID(r), randTuples(r, 16)))
+	}
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		id, tuples, err := DecodeFramePayload(payload)
+		if err != nil {
+			return
+		}
+		re := EncodeFramePayload(id, tuples)
+		id2, tuples2, err := DecodeFramePayload(re)
+		if err != nil {
+			t.Fatalf("re-decode of accepted payload failed: %v", err)
+		}
+		if id2 != id || len(tuples2) != len(tuples) {
+			t.Fatalf("re-encode not stable: %v/%d vs %v/%d", id2, len(tuples2), id, len(tuples))
+		}
+	})
+}
