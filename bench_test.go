@@ -82,6 +82,11 @@ func BenchmarkAblations(b *testing.B) { runExperiment(b, "ablation") }
 // `benchrunner concurrency`).
 func BenchmarkConcurrentQueryThroughput(b *testing.B) { runExperiment(b, "concurrency") }
 
+// BenchmarkServingHTTPLoad drives the simdbd HTTP front end with
+// open-loop load at rising session counts, emitting BENCH_serving.json
+// (full scale via `benchrunner serving`).
+func BenchmarkServingHTTPLoad(b *testing.B) { runExperiment(b, "serving") }
+
 // --- micro-benchmarks ---
 
 func BenchmarkEditDistance(b *testing.B) {

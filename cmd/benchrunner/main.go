@@ -6,8 +6,8 @@
 //
 // Experiments: table3 table4 table5 table6 fig15 fig22a fig22b fig24a
 // fig24b fig25a fig25b fig27 ablation concurrency spill ingest scan
-// transport env all ("all" excludes transport; ask for it by name or
-// with -transport)
+// serving transport env all ("all" excludes transport; ask for it by
+// name or with -transport)
 package main
 
 import (

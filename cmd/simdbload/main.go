@@ -1,0 +1,236 @@
+// Command simdbload is an open-loop load generator for a running
+// simdbd server:
+//
+//	simdbload -addr http://localhost:8095 -setup 20000
+//	simdbload -addr http://localhost:8095 -clients 16 -rate 400 -duration 10s
+//
+// Arrivals fire on a fixed schedule regardless of completions (open
+// loop), so server slowdown surfaces as latency and 503 rejections
+// instead of silently throttling the generator. The query mix blends
+// exact-match selections, keyword- and ngram-index similarity
+// searches, and a heavier scan-bound aggregation; -mix reweights it.
+// The run summary (counts by outcome, achieved QPS, p50/p95/p99 wall
+// latency) prints as JSON on stdout.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"simdb/internal/bench"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8095", "simdbd base URL")
+		clients  = flag.Int("clients", 8, "server-side sessions to spread requests across (0 = sessionless)")
+		rate     = flag.Float64("rate", 100, "offered arrival rate, requests/sec")
+		duration = flag.Duration("duration", 5*time.Second, "length of the arrival schedule")
+		mix      = flag.String("mix", "exact:4,jaccard:3,edit:2,heavy:1", "weighted query mix (name:weight,...)")
+		dataset  = flag.String("dataset", "Loadtest", "dataset name the mix queries")
+		setup    = flag.Int("setup", 0, "create the dataset, ingest this many records, build indexes, then exit")
+		seed     = flag.Int64("seed", 1, "record-generation seed for -setup")
+	)
+	flag.Parse()
+	base := strings.TrimSuffix(*addr, "/")
+
+	if *setup > 0 {
+		if err := setupDataset(base, *dataset, *setup, *seed); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "simdbload: %d records ingested into %s\n", *setup, *dataset)
+		return
+	}
+
+	weights, err := parseMix(*mix)
+	if err != nil {
+		fatal(err)
+	}
+	var sessions []string
+	for i := 0; i < *clients; i++ {
+		tok, err := createSession(base)
+		if err != nil {
+			fatal(fmt.Errorf("create session: %w", err))
+		}
+		sessions = append(sessions, tok)
+	}
+	opt := bench.ServingLoadOptions{
+		Rate:     *rate,
+		Duration: *duration,
+		Mix:      loadMix(*dataset, weights),
+		Sessions: sessions,
+	}
+	fmt.Fprintf(os.Stderr, "simdbload: %d sessions, %.0f req/s offered for %s against %s\n",
+		len(sessions), *rate, *duration, base)
+	res, err := bench.RunServingLoad(base, opt)
+	if err != nil {
+		fatal(err)
+	}
+	out, _ := json.MarshalIndent(res, "", "  ")
+	fmt.Println(string(out))
+	if res.OtherErrors > 0 {
+		os.Exit(1)
+	}
+}
+
+// parseMix decodes "name:weight,..." into a weight table.
+func parseMix(s string) (map[string]int, error) {
+	out := map[string]int{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, wstr, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("simdbload: bad mix entry %q (want name:weight)", part)
+		}
+		w, err := strconv.Atoi(wstr)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("simdbload: bad weight in %q", part)
+		}
+		out[name] = w
+	}
+	return out, nil
+}
+
+// loadMix builds the weighted statement pool over the load dataset.
+// The generated records (see setupDataset) carry username and summary
+// fields, matching the similarity-query shapes from the paper.
+func loadMix(dataset string, weights map[string]int) []bench.ServingQuery {
+	names := []string{"james", "mary", "mario", "jamie", "maria", "marla"}
+	phrases := []string{
+		"great product works fine",
+		"fantastic quality best ever",
+		"charger gift movie heart",
+	}
+	var exact, jaccard, edit []string
+	for _, n := range names {
+		exact = append(exact, fmt.Sprintf(
+			"count(for $r in dataset %s where $r.username = '%s' return $r.id)", dataset, n))
+		edit = append(edit, fmt.Sprintf(
+			"count(for $r in dataset %s where edit-distance($r.username, '%s') <= 1 return $r.id)",
+			dataset, n))
+	}
+	for _, p := range phrases {
+		jaccard = append(jaccard, fmt.Sprintf(
+			`count(for $r in dataset %s
+			 where similarity-jaccard(word-tokens($r.summary), word-tokens('%s')) >= 0.6
+			 return $r.id)`, dataset, p))
+	}
+	heavy := []string{fmt.Sprintf(
+		`count(for $r in dataset %s
+		 where similarity-jaccard(word-tokens($r.summary), word-tokens('great product quality')) >= 0.2
+		 return $r.id)`, dataset)}
+	return []bench.ServingQuery{
+		{Name: "exact", Weight: weights["exact"], Statements: exact},
+		{Name: "jaccard", Weight: weights["jaccard"], Statements: jaccard},
+		{Name: "edit", Weight: weights["edit"], Statements: edit},
+		{Name: "heavy", Weight: weights["heavy"], Statements: heavy},
+	}
+}
+
+// setupDataset provisions the load dataset through the server's own
+// surface: DDL via /query, records via /ingest, then similarity
+// indexes so the mix's index paths are real.
+func setupDataset(base, dataset string, n int, seed int64) error {
+	for _, stmt := range []string{
+		fmt.Sprintf("create dataset %s primary key id;", dataset),
+		fmt.Sprintf("create index %s_kw on %s(summary) type keyword;", strings.ToLower(dataset), dataset),
+		fmt.Sprintf("create index %s_ng on %s(username) type ngram(2);", strings.ToLower(dataset), dataset),
+	} {
+		if err := runStatement(base, stmt); err != nil && !strings.Contains(err.Error(), "exists") {
+			return err
+		}
+	}
+	names := []string{"james", "mary", "mario", "jamie", "maria", "marla", "johnny", "joanna"}
+	vocab := []string{"great", "product", "fantastic", "quality", "movie", "heart",
+		"charger", "gift", "best", "ever", "works", "fine"}
+	rng := seed
+	next := func(m int) int { // xorshift; deterministic across runs
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		v := int(rng % int64(m))
+		if v < 0 {
+			v = -v
+		}
+		return v
+	}
+	pr, pw := io.Pipe()
+	go func() {
+		bw := bufio.NewWriter(pw)
+		for i := 0; i < n; i++ {
+			name := names[next(len(names))]
+			if i%5 == 0 {
+				name += strconv.Itoa(next(10))
+			}
+			var words []string
+			for w, nw := 0, 3+next(6); w < nw; w++ {
+				words = append(words, vocab[next(len(vocab))])
+			}
+			fmt.Fprintf(bw, "{\"id\": %d, \"username\": %q, \"summary\": %q}\n",
+				i, name, strings.Join(words, " "))
+		}
+		bw.Flush()
+		pw.Close()
+	}()
+	resp, err := http.Post(base+"/ingest/"+dataset, "application/x-ndjson", pr)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("simdbload: ingest status %d: %s", resp.StatusCode, b)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// runStatement executes one AQL statement and drains the stream.
+func runStatement(base, stmt string) error {
+	resp, err := http.Post(base+"/query", "text/plain", strings.NewReader(stmt))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("simdbload: %q: status %d: %s", stmt, resp.StatusCode, body)
+	}
+	return nil
+}
+
+// createSession opens one server-side session.
+func createSession(base string) (string, error) {
+	resp, err := http.Post(base+"/sessions", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return "", fmt.Errorf("status %d: %s", resp.StatusCode, b)
+	}
+	var out struct {
+		Session string `json:"session"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", err
+	}
+	return out.Session, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simdbload:", err)
+	os.Exit(1)
+}

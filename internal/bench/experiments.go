@@ -42,6 +42,7 @@ func (e *Env) Run(name string) error {
 		{"spill", e.SpillSweep},
 		{"ingest", e.IngestBench},
 		{"scan", e.ScanBench},
+		{"serving", e.Serving},
 	}
 	if name == "all" {
 		for _, x := range exps {

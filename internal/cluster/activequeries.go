@@ -27,6 +27,28 @@ func (e *QueryError) Error() string { return fmt.Sprintf("query %d: %v", e.Query
 // Unwrap exposes the underlying error to errors.Is/As.
 func (e *QueryError) Unwrap() error { return e.Err }
 
+// PlanError marks a failure caused by the request itself — a parse
+// error, an unknown dataset or set property, a statement the engine
+// rejects — as opposed to a runtime or serving failure. Front ends map
+// it onto 4xx (the client should fix the request, not retry). It is
+// text-transparent: Error() returns the wrapped message unchanged, so
+// existing error strings are unaffected.
+type PlanError struct{ Err error }
+
+// Error implements error.
+func (e *PlanError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *PlanError) Unwrap() error { return e.Err }
+
+// planErr wraps err as a PlanError (nil-safe).
+func planErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &PlanError{Err: err}
+}
+
 // queryPhase is where in its lifecycle an admitted query currently is.
 type queryPhase int32
 
@@ -65,6 +87,9 @@ type queryRun struct {
 	id uint64
 	tr *trace.Trace
 	aq *activeQuery
+	// stream, when non-nil, receives result rows as the job produces
+	// them instead of having them buffered into Result.Rows.
+	stream *StreamHandler
 }
 
 // setPhase advances the live phase and is nil-safe like the trace.

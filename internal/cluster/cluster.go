@@ -142,7 +142,7 @@ func newCluster(cfg Config, localNode int) (*Cluster, error) {
 		Catalog:   NewCatalog(),
 		localNode: localNode,
 		planCache: NewPlanCache(cfg.PlanCacheSize),
-		qm:        newQueryManager(cfg.MaxConcurrentQueries, cfg.QueryTimeout, cfg.ClusterMemoryBudget),
+		qm:        newQueryManager(cfg.MaxConcurrentQueries, cfg.QueryTimeout, cfg.AdmissionTimeout, cfg.ClusterMemoryBudget),
 		slowLog:   obs.NewLogger(os.Stderr, obs.LevelInfo),
 		activeQ:   newActiveQueries(),
 		tracer:    trace.Default(),

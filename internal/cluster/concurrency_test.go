@@ -14,7 +14,7 @@ import (
 )
 
 func TestQueryManagerAdmission(t *testing.T) {
-	qm := newQueryManager(2, 0, 0)
+	qm := newQueryManager(2, 0, 0, 0)
 	ctx := context.Background()
 
 	_, rel1, _, err := qm.admit(ctx, 0)

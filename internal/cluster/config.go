@@ -46,6 +46,13 @@ type Config struct {
 	MaxConcurrentQueries int
 	// QueryTimeout caps each admitted query's execution; 0 disables.
 	QueryTimeout time.Duration
+	// AdmissionTimeout bounds how long a query may wait for admission (a
+	// slot plus, when a cluster memory pool is configured, budgeted
+	// memory). Past it the query fails with ErrAdmissionTimeout even if
+	// the caller's context has no deadline — the load-shedding signal a
+	// serving front end turns into 503 + Retry-After. 0 disables: waits
+	// are bounded only by the caller's context.
+	AdmissionTimeout time.Duration
 	// PlanCacheSize bounds the compiled-plan cache (entries, LRU).
 	// 0 takes the default of 256; negative disables the cache.
 	PlanCacheSize int

@@ -242,7 +242,7 @@ func TestMemPoolFIFO(t *testing.T) {
 // cluster memory pool and checks they serialize (peak concurrency 1)
 // while an unbudgeted query is never gated.
 func TestAdmissionQueuesOnMemory(t *testing.T) {
-	qm := newQueryManager(8, 0, 1<<20)
+	qm := newQueryManager(8, 0, 0, 1<<20)
 	ctx := context.Background()
 	_, rel1, _, err := qm.admit(ctx, 1<<20)
 	if err != nil {

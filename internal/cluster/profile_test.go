@@ -147,7 +147,7 @@ func TestSetProfileRejectsJunk(t *testing.T) {
 }
 
 func TestAdmissionTypedErrors(t *testing.T) {
-	m := newQueryManager(1, 0, 0)
+	m := newQueryManager(1, 0, 0, 0)
 	_, rel, _, err := m.admit(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
@@ -188,7 +188,7 @@ func TestAdmissionTypedErrors(t *testing.T) {
 }
 
 func TestReleaseClassifiesExecutionTimeout(t *testing.T) {
-	m := newQueryManager(1, time.Millisecond, 0)
+	m := newQueryManager(1, time.Millisecond, 0, 0)
 	qctx, rel, _, err := m.admit(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)

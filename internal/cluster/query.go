@@ -56,6 +56,11 @@ type QueryStats struct {
 	BytesShuffled int64
 	NetMessages   int64
 
+	// RowsOut is the result row count, whether rows were buffered into
+	// Result.Rows or streamed through a StreamHandler (where Result.Rows
+	// stays nil).
+	RowsOut int64
+
 	// MemBudget is the operator memory budget the query ran under (0 =
 	// unlimited); MemHighWater is the accountant's peak reservation and
 	// SpillRuns/SpilledBytes total the run files operators wrote past the
@@ -171,6 +176,30 @@ func (c *Cluster) resolveMemoryBudget(sessBudget int64) int64 {
 	}
 }
 
+// StreamHandler receives a streamed query's lifecycle callbacks. OnRow
+// is invoked once per result row, in result order, from the job's
+// collector goroutine WHILE the job is still running: a slow OnRow
+// exerts backpressure through the runtime's bounded frame channels, so
+// per-query buffering stays bounded by a frame multiple rather than the
+// result size. An OnRow error aborts the query. OnQueryID, when set, is
+// called once with the query's stable ID before admission — front ends
+// use it to expose the ID (for cancellation) ahead of the first row.
+type StreamHandler struct {
+	OnQueryID func(id uint64)
+	OnRow     func(v adm.Value) error
+}
+
+// deliver pushes buffered rows (explain output, plan text) through the
+// handler in order.
+func (h *StreamHandler) deliver(rows []adm.Value) error {
+	for _, r := range rows {
+		if err := h.OnRow(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Execute runs a full AQL request — statements then an optional query —
 // and returns the query result (nil Rows for statement-only requests).
 // Execution is admission-controlled: at most Config.MaxConcurrentQueries
@@ -178,6 +207,22 @@ func (c *Cluster) resolveMemoryBudget(sessBudget int64) int64 {
 // one. Cancellation of ctx propagates through the runtime into storage
 // scans.
 func (c *Cluster) Execute(ctx context.Context, sess *Session, src string) (*Result, error) {
+	return c.executeRequest(ctx, sess, src, nil)
+}
+
+// ExecuteStream runs a request like Execute but delivers result rows
+// incrementally through h instead of buffering them: the returned
+// Result has nil Rows and h.OnRow sees each row as the engine produces
+// it. Everything else — admission, timeouts, the plan cache, typed
+// errors — behaves identically.
+func (c *Cluster) ExecuteStream(ctx context.Context, sess *Session, src string, h StreamHandler) (*Result, error) {
+	if h.OnRow == nil {
+		return nil, fmt.Errorf("cluster: ExecuteStream needs an OnRow handler")
+	}
+	return c.executeRequest(ctx, sess, src, &h)
+}
+
+func (c *Cluster) executeRequest(ctx context.Context, sess *Session, src string, stream *StreamHandler) (*Result, error) {
 	if sess == nil {
 		sess = NewSession()
 	}
@@ -191,6 +236,12 @@ func (c *Cluster) Execute(ctx context.Context, sess *Session, src string) (*Resu
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	qr := c.registerQuery(qid, src, cancel)
+	qr.stream = stream
+	if stream != nil && stream.OnQueryID != nil {
+		// Announce the ID before admission, so a front end can expose it
+		// (e.g. for cancellation) while the query still waits for a slot.
+		stream.OnQueryID(qid)
+	}
 	// Admission charges the budget in effect at request entry; a `set
 	// memorybudget` inside this request applies from the next one.
 	qctx, release, admitNs, err := c.qm.admit(cctx, c.snapshotSession(sess).Opts.MemoryBudgetBytes)
@@ -203,6 +254,13 @@ func (c *Cluster) Execute(ctx context.Context, sess *Session, src string) (*Resu
 	qr.tr.SpanAt(trace.RootSpan, "admission", trace.CatPhase,
 		time.Now().Add(-time.Duration(admitNs)), time.Duration(admitNs))
 	res, err := c.execute(qctx, sess, src, admitNs, qr)
+	if stream != nil && err == nil && res != nil && len(res.Rows) > 0 {
+		// Paths that buffer by nature (explain, explain analyze) deliver
+		// their rows through the stream here so streamed requests never
+		// carry rows in the Result.
+		err = stream.deliver(res.Rows)
+		res.Rows = nil
+	}
 	// release classifies the error: a per-query deadline kill comes back
 	// wrapped in ErrQueryTimeout.
 	err = release(err)
@@ -317,7 +375,7 @@ func (c *Cluster) execute(ctx context.Context, sess *Session, src string, admitN
 	parseNs := time.Since(t0).Nanoseconds()
 	qr.tr.SpanAt(trace.RootSpan, "parse", trace.CatPhase, t0, time.Duration(parseNs))
 	if err != nil {
-		return nil, err
+		return nil, planErr(err)
 	}
 
 	// Only requests whose statements are all session-scoped (use/set)
@@ -339,12 +397,12 @@ func (c *Cluster) execute(ctx context.Context, sess *Session, src string, admitN
 			cacheable = false
 		}
 		if err := c.executeStmt(sess, stmt); err != nil {
-			return nil, err
+			return nil, planErr(err)
 		}
 	}
 	if q.Body == nil {
 		if q.Explain {
-			return nil, fmt.Errorf("cluster: explain needs a query body")
+			return nil, planErr(fmt.Errorf("cluster: explain needs a query body"))
 		}
 		return &Result{Stats: QueryStats{AdmissionNs: admitNs, ParseNs: parseNs}}, nil
 	}
@@ -380,7 +438,7 @@ func (c *Cluster) execute(ctx context.Context, sess *Session, src string, admitN
 	plan, stats, err := c.compileState(st, q.Body)
 	if err != nil {
 		compileSpan.End(trace.S("error", err.Error()))
-		return nil, err
+		return nil, planErr(err)
 	}
 	compileSpan.End(
 		trace.I("translate_ns", stats.TranslateNs),
@@ -409,6 +467,12 @@ func (c *Cluster) execute(ctx context.Context, sess *Session, src string, admitN
 			ruleTrace:   append([]string(nil), stats.RuleTrace...),
 			cornerCases: stats.CornerCaseFallbacks,
 		})
+	}
+	if q.Analyze {
+		// explain analyze output is the annotated plan, assembled after
+		// execution: buffer the query's own rows (they only feed the row
+		// count); executeRequest streams the analysis text afterwards.
+		qr.stream = nil
 	}
 	res, err := c.runJob(ctx, plan, stats, src, st, qr)
 	if err == nil && q.Analyze {
@@ -595,6 +659,16 @@ func (c *Cluster) runJob(ctx context.Context, plan *algebra.Op, stats *QueryStat
 	stats.JobGenNs = time.Since(t0).Nanoseconds()
 	qr.tr.SpanAt(trace.RootSpan, "jobgen", trace.CatPhase, t0, time.Duration(stats.JobGenNs))
 
+	if qr.stream != nil {
+		// Streaming delivery: the collector hands each result tuple to the
+		// handler as it arrives instead of buffering it. The handler runs
+		// on the collector's goroutine, so a slow consumer backpressures
+		// the job through the bounded frame channels; a handler error
+		// (client gone) aborts the job.
+		onRow := qr.stream.OnRow
+		collector.Sink = func(t hyracks.Tuple) error { return onRow(t[0]) }
+	}
+
 	topo := hyracks.Topology{
 		Partitions:      c.cfg.Partitions(),
 		PartsPerNode:    c.cfg.PartitionsPerNode,
@@ -693,14 +767,19 @@ func (c *Cluster) runJob(ctx context.Context, plan *algebra.Op, stats *QueryStat
 	model := CostModel{NetBandwidthMBps: c.cfg.NetBandwidthMBps, NetLatencyUs: c.cfg.NetLatencyUs, Nodes: c.cfg.NumNodes}
 	stats.EstimatedParallel = model.EstimateParallel(stats.MaxNodeTuples, stats.BytesShuffled, stats.NetMessages)
 
-	rows := make([]adm.Value, len(collector.Tuples))
-	for i, t := range collector.Tuples {
-		rows[i] = t[0]
+	nrows := int(collector.Delivered.Load())
+	var rows []adm.Value
+	if qr.stream == nil {
+		rows = make([]adm.Value, len(collector.Tuples))
+		for i, t := range collector.Tuples {
+			rows[i] = t[0]
+		}
 	}
 	res := &Result{Rows: rows, Stats: *stats}
+	res.Stats.RowsOut = int64(nrows)
 	if profile {
 		profileQueries.Inc()
-		res.Profile = buildProfile(src, stats, jstats, len(rows))
+		res.Profile = buildProfile(src, stats, jstats, nrows)
 	}
 	return res, nil
 }

@@ -29,6 +29,13 @@ var (
 type QueryManager struct {
 	sem     chan struct{}
 	timeout time.Duration
+	// admitWait bounds the admission wait itself: a query that cannot
+	// get a slot (and, if configured, budgeted memory) within admitWait
+	// fails with ErrAdmissionTimeout even when the caller's context has
+	// no deadline. Serving front ends map that onto 503 + Retry-After so
+	// overload surfaces as fast rejection instead of unbounded queueing.
+	// 0 means wait as long as the caller's context allows.
+	admitWait time.Duration
 	// mem, when non-nil, additionally gates admission on budgeted query
 	// memory: the sum of admitted queries' budgets stays within the
 	// cluster budget. Acquisition order is always slot THEN memory, so
@@ -47,15 +54,17 @@ type QueryManager struct {
 
 // newQueryManager builds a manager admitting at most maxConcurrent
 // queries at a time (<= 0 means the default of 64) with an optional
-// per-query timeout (0 means none) and an optional cluster-wide pool of
+// per-query timeout (0 means none), an optional bound on the admission
+// wait itself (0 means none), and an optional cluster-wide pool of
 // budgeted query memory (0 means ungated).
-func newQueryManager(maxConcurrent int, timeout time.Duration, memBudget int64) *QueryManager {
+func newQueryManager(maxConcurrent int, timeout, admitWait time.Duration, memBudget int64) *QueryManager {
 	if maxConcurrent <= 0 {
 		maxConcurrent = 64
 	}
 	m := &QueryManager{
-		sem:     make(chan struct{}, maxConcurrent),
-		timeout: timeout,
+		sem:       make(chan struct{}, maxConcurrent),
+		timeout:   timeout,
+		admitWait: admitWait,
 	}
 	if memBudget > 0 {
 		m.mem = &memPool{capacity: memBudget}
@@ -159,8 +168,22 @@ func (p *memPool) snapshot() (used int64, waiting int) {
 // per-query deadline (not the caller's context) killed the execution.
 func (m *QueryManager) admit(ctx context.Context, memBudget int64) (context.Context, func(err error) error, int64, error) {
 	t0 := time.Now()
+	// actx bounds only the admission wait: once admitted, the query runs
+	// under ctx (plus the per-query execution deadline below). A query
+	// that exhausts admitWait while the pool is full rejects with
+	// ErrAdmissionTimeout regardless of the caller's own deadline.
+	actx := ctx
+	if m.admitWait > 0 {
+		var cancelAdmit context.CancelFunc
+		actx, cancelAdmit = context.WithTimeout(ctx, m.admitWait)
+		defer cancelAdmit()
+	}
 	reject := func() error {
 		m.rejected.Add(1)
+		if errors.Is(actx.Err(), context.DeadlineExceeded) && ctx.Err() == nil {
+			// The admission-wait bound fired, not the caller's context.
+			return fmt.Errorf("%w: %w", ErrAdmissionTimeout, actx.Err())
+		}
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 			return fmt.Errorf("%w: %w", ErrAdmissionTimeout, ctx.Err())
 		}
@@ -168,12 +191,12 @@ func (m *QueryManager) admit(ctx context.Context, memBudget int64) (context.Cont
 	}
 	select {
 	case m.sem <- struct{}{}:
-	case <-ctx.Done():
+	case <-actx.Done():
 		return nil, nil, 0, reject()
 	}
 	memHeld := int64(0)
 	if m.mem != nil && memBudget > 0 {
-		if err := m.mem.acquire(ctx, memBudget); err != nil {
+		if err := m.mem.acquire(actx, memBudget); err != nil {
 			<-m.sem
 			return nil, nil, 0, reject()
 		}

@@ -32,6 +32,7 @@ import (
 	"simdb/internal/invindex"
 	"simdb/internal/obs"
 	"simdb/internal/optimizer"
+	"simdb/internal/simdbd"
 )
 
 // Config configures a Database; zero values take sensible defaults
@@ -57,6 +58,11 @@ type Config struct {
 	MaxConcurrentQueries int
 	// QueryTimeout caps each admitted query's run time; 0 disables.
 	QueryTimeout time.Duration
+	// AdmissionTimeout bounds how long a query may wait for an admission
+	// slot (or a memory grant) before the engine gives up with
+	// ErrAdmissionTimeout — the signal the serving front end turns into
+	// 503 + Retry-After. 0 (default) waits indefinitely.
+	AdmissionTimeout time.Duration
 	// PlanCacheSize bounds the compiled-plan cache in entries (0 takes
 	// the default of 256; negative disables the cache).
 	PlanCacheSize int
@@ -104,6 +110,15 @@ type Config struct {
 	// (Prometheus), /queries (+ cancel), /traces, /slowlog, and
 	// /debug/pprof. Empty (the default) starts no listener.
 	DebugAddr string
+	// ServeAddr, when set (e.g. ":8095" or ":0"), starts the simdbd
+	// query-serving HTTP front end: sessions, streaming NDJSON query
+	// results, bulk ingest, and cancellation. Empty (the default) starts
+	// no listener. Resolve the bound address with Database.ServeAddr.
+	ServeAddr string
+	// Serve tunes the query-serving front end (drain timeout, session
+	// cap, idle eviction, request size cap); zero values take simdbd's
+	// defaults. Ignored unless ServeAddr is set.
+	Serve simdbd.Config
 	// Transport selects how query frames move between nodes: "inproc"
 	// (default; every node in this process, channel semantics) or "tcp"
 	// (nodes 1..NumNodes-1 run as child worker processes and frames ship
@@ -126,6 +141,7 @@ type Config struct {
 type Database struct {
 	c   *cluster.Cluster
 	dbg *debugsrv.Server
+	srv *simdbd.Server
 }
 
 // Result is a query result: one ADM value per row plus the execution
@@ -177,6 +193,7 @@ func Open(cfg Config) (*Database, error) {
 		TOccurrenceAlgorithm:    algo,
 		MaxConcurrentQueries:    cfg.MaxConcurrentQueries,
 		QueryTimeout:            cfg.QueryTimeout,
+		AdmissionTimeout:        cfg.AdmissionTimeout,
 		PlanCacheSize:           cfg.PlanCacheSize,
 		SpecializeAfterHits:     cfg.SpecializeAfterHits,
 		SlowQueryThreshold:      cfg.SlowQueryThreshold,
@@ -204,12 +221,27 @@ func Open(cfg Config) (*Database, error) {
 			return nil, err
 		}
 	}
+	if cfg.ServeAddr != "" {
+		db.srv, err = simdbd.Start(cfg.ServeAddr, c, cfg.Serve)
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+	}
 	return db, nil
 }
 
-// Close shuts the database down, flushing in-memory components and
-// draining the debug listener (if one was started).
+// Close shuts the database down: the serving front end drains first
+// (stop accepting, let in-flight queries finish under its configured
+// DrainTimeout), then the debug listener, then the cluster flushes and
+// stops.
 func (db *Database) Close() error {
+	if db.srv != nil {
+		if err := db.srv.Close(); err != nil {
+			obs.Log().Error("serve front end shutdown failed", "err", err)
+		}
+		db.srv = nil
+	}
 	if db.dbg != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
@@ -229,6 +261,32 @@ func (db *Database) DebugAddr() string {
 	}
 	return db.dbg.Addr()
 }
+
+// ServeAddr returns the query-serving front end's bound address (""
+// when Config.ServeAddr was unset). With ":0" this resolves the real
+// port.
+func (db *Database) ServeAddr() string {
+	if db.srv == nil {
+		return ""
+	}
+	return db.srv.Addr()
+}
+
+// ExecuteStream runs an AQL request like Execute but delivers result
+// rows through h as the job produces them instead of buffering them
+// into Result.Rows (which stays nil; Stats.RowsOut still counts them).
+// A slow h.OnRow backpressures the job through the runtime's bounded
+// frame channels; an OnRow error aborts the query.
+func (db *Database) ExecuteStream(ctx context.Context, sess *Session, aql string, h cluster.StreamHandler) (*Result, error) {
+	res, err := db.c.ExecuteStream(ctx, sess, aql, h)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Rows: res.Rows, Stats: res.Stats, Profile: res.Profile}, nil
+}
+
+// StreamHandler re-exports the streaming delivery callbacks.
+type StreamHandler = cluster.StreamHandler
 
 // Cluster exposes the underlying simulated cluster for advanced use
 // (index statistics, per-node cache counters, direct job generation).

@@ -2,6 +2,7 @@ package hyracks
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"simdb/internal/adm"
 )
@@ -686,9 +687,23 @@ func Materialize() func() Operator {
 
 // Collector is a sink gathering result tuples; create one per job and
 // add its node with parts=1 below a GatherOne or MergeOne connector.
+//
+// With Sink set, the collector streams: every tuple is handed to Sink
+// as it arrives instead of being buffered in Tuples, so a consumer sees
+// the first row while upstream operators are still producing later
+// ones. A Sink that blocks exerts backpressure through the connector's
+// bounded frame channels — upstream buffering stays bounded by a frame
+// multiple (ChanCap × FrameSize per edge), never by the result size. A
+// Sink error aborts the job and propagates out of Run.
 type Collector struct {
 	mu     sync.Mutex
 	Tuples []Tuple
+	// Sink, when non-nil, receives each tuple in result order instead of
+	// buffering it. Set it before the job runs.
+	Sink func(Tuple) error
+	// Delivered counts tuples collected or streamed so far; readable
+	// while the job runs.
+	Delivered atomic.Int64
 }
 
 // Op returns the sink operator factory.
@@ -700,9 +715,16 @@ func (c *Collector) Op() func() Operator {
 				if !ok {
 					return ctx.Ctx.Err()
 				}
-				c.mu.Lock()
-				c.Tuples = append(c.Tuples, t)
-				c.mu.Unlock()
+				if c.Sink != nil {
+					if err := c.Sink(t); err != nil {
+						return err
+					}
+				} else {
+					c.mu.Lock()
+					c.Tuples = append(c.Tuples, t)
+					c.mu.Unlock()
+				}
+				c.Delivered.Add(1)
 			}
 		})
 	}

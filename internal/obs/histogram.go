@@ -30,6 +30,12 @@ func newHistogram() *Histogram {
 	return h
 }
 
+// NewHistogram returns a standalone histogram not registered anywhere —
+// for scoped measurements (one benchmark cell, one load phase) that
+// want the same log-linear quantile machinery as the registry's named
+// histograms without polluting the process-wide snapshot.
+func NewHistogram() *Histogram { return newHistogram() }
+
 // bucketOf maps a value to its bucket index (monotonic in v).
 func bucketOf(v int64) int {
 	if v < 4 {

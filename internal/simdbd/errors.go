@@ -1,0 +1,63 @@
+package simdbd
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"simdb/internal/cluster"
+)
+
+// Error codes on the wire. Stable: clients and the load generator
+// branch on these, not on message text.
+const (
+	codeBadQuery         = "bad-query"         // 400: parse/plan/statement errors
+	codeForbidden        = "forbidden"         // 403: tenant-scope violation
+	codeNotFound         = "not-found"         // 404: unknown session/dataset/query
+	codeTooManySessions  = "too-many-sessions" // 429: session table full
+	codeAdmissionTimeout = "admission-timeout" // 503: admission pool exhausted
+	codeQueryTimeout     = "query-timeout"     // 504: per-query execution deadline
+	codeCanceled         = "canceled"          // 499: client went away
+	codeInternal         = "internal"          // 500: engine/runtime failure
+)
+
+// statusClientClosed mirrors nginx's non-standard 499 "client closed
+// request". It never reaches the client (the client is gone) but keeps
+// metrics and mid-stream error records honest about who failed whom.
+const statusClientClosed = 499
+
+// classify maps an engine error onto the wire taxonomy. The typed
+// serving errors carry their own statuses; PlanError marks
+// client-caused failures (400); context cancellation means the client
+// disconnected; anything else is an internal failure.
+func classify(err error) *wireError {
+	we := &wireError{Message: err.Error()}
+	var qe *cluster.QueryError
+	if errors.As(err, &qe) {
+		we.QueryID = qe.QueryID
+	}
+	var pe *cluster.PlanError
+	switch {
+	case errors.Is(err, cluster.ErrAdmissionTimeout):
+		we.Code, we.Status = codeAdmissionTimeout, http.StatusServiceUnavailable
+		we.RetryAfter = 1
+	case errors.Is(err, cluster.ErrQueryTimeout):
+		we.Code, we.Status = codeQueryTimeout, http.StatusGatewayTimeout
+	case errors.Is(err, cluster.ErrAdmissionCanceled),
+		errors.Is(err, context.Canceled):
+		we.Code, we.Status = codeCanceled, statusClientClosed
+	case errors.As(err, &pe):
+		we.Code, we.Status = codeBadQuery, http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		// The caller's own deadline (not the engine's) expired mid-run.
+		we.Code, we.Status = codeQueryTimeout, http.StatusGatewayTimeout
+	default:
+		we.Code, we.Status = codeInternal, http.StatusInternalServerError
+	}
+	return we
+}
+
+// wireErrf builds a non-engine wire error (session, tenant, decode).
+func wireErrf(code string, status int, msg string) *wireError {
+	return &wireError{Code: code, Status: status, Message: msg}
+}

@@ -1,0 +1,47 @@
+package simdbd
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzServerRequest fuzzes the request decode path: the statement
+// extractor (raw text and JSON envelope forms, size cap) and the
+// session-token validator — the two parsers that see raw client bytes
+// before any engine code runs. Invariants: no panics, the size cap is
+// enforced, and an accepted statement is never empty.
+func FuzzServerRequest(f *testing.F) {
+	f.Add("text/plain", "for $r in dataset Reviews return $r", "")
+	f.Add("application/json", `{"statement": "1 + 1"}`, "0123456789abcdef0123456789abcdef")
+	f.Add("application/json", `{"statement": ""}`, "UPPERCASE-NOT-A-TOKEN")
+	f.Add("application/json; charset=utf-8", `{"statement": "1"} trailing`, "short")
+	f.Add("application/json", `{"unknown": 1}`, strings.Repeat("g", 32))
+	f.Add("", "   \n\t  ", strings.Repeat("a", 33))
+	f.Add("text/plain; boundary=\x7f", "\x00\xff\xfe", strings.Repeat("0", 32))
+
+	f.Fuzz(func(t *testing.T, contentType, body, token string) {
+		const maxBytes = 1 << 12
+		stmt, err := decodeStatement(contentType, strings.NewReader(body), maxBytes)
+		if err == nil {
+			if strings.TrimSpace(stmt) == "" {
+				t.Fatalf("decodeStatement accepted an empty statement from %q", body)
+			}
+			if int64(len(stmt)) > maxBytes {
+				t.Fatalf("decoded statement exceeds the size cap: %d bytes", len(stmt))
+			}
+		}
+		if len(body) > maxBytes && err != errMaxBody {
+			// An oversized raw body must hit the cap; JSON envelopes can
+			// fail earlier with a syntax error only if still within it.
+			t.Fatalf("oversized body (%d bytes) not rejected by the cap: %v", len(body), err)
+		}
+
+		ok := validSessionToken(token)
+		if ok && len(token) != 32 {
+			t.Fatalf("validSessionToken accepted %d-byte token %q", len(token), token)
+		}
+		if ok && strings.ToLower(token) != token {
+			t.Fatalf("validSessionToken accepted non-lowercase token %q", token)
+		}
+	})
+}

@@ -1,0 +1,278 @@
+// Black-box protocol conformance suite for the simdbd serving front
+// end. Every test here talks to a real server on a loopback port
+// through net/http — the same wire a client sees — and asserts the
+// protocol contract: NDJSON streaming semantics, typed-error → HTTP
+// status mapping, session isolation and tenant scoping, disconnect
+// cancellation, and graceful drain. The suite runs under -race in CI,
+// and one test repeats the core tour with the tcp transport (worker
+// child processes, frames over real TCP loopback).
+package simdbd_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"simdb/internal/core"
+)
+
+// TestMain installs the tcp-transport worker hook: the tcp-mode test
+// re-executes this binary as worker child processes, and the hook
+// diverts those re-executions into the worker loop before the testing
+// framework starts.
+func TestMain(m *testing.M) {
+	core.MaybeRunWorker()
+	os.Exit(m.Run())
+}
+
+// bootServer opens a Database with the serving front end on an
+// ephemeral loopback port and returns it with its base URL. mod can
+// adjust the config (timeouts, transport, serve limits) before Open.
+func bootServer(t *testing.T, mod func(*core.Config)) (*core.Database, string) {
+	t.Helper()
+	cfg := core.Config{
+		DataDir:           t.TempDir(),
+		NumNodes:          2,
+		PartitionsPerNode: 2,
+		ServeAddr:         "127.0.0.1:0",
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	db, err := core.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	addr := db.ServeAddr()
+	if addr == "" {
+		t.Fatal("ServeAddr is empty with ServeAddr configured")
+	}
+	return db, "http://" + addr
+}
+
+// record is one decoded NDJSON response record.
+type record struct {
+	Row     any             `json:"row"`
+	Summary json.RawMessage `json:"summary"`
+	Error   json.RawMessage `json:"error"`
+}
+
+// wireErr mirrors the structured error payload.
+type wireErr struct {
+	Code       string `json:"code"`
+	Status     int    `json:"http_status"`
+	Message    string `json:"message"`
+	QueryID    uint64 `json:"query_id"`
+	RetryAfter int    `json:"retry_after_s"`
+}
+
+// summary mirrors the terminal stats record.
+type summary struct {
+	QueryID     uint64 `json:"query_id"`
+	Rows        int64  `json:"rows"`
+	WallNs      int64  `json:"wall_ns"`
+	ExecNs      int64  `json:"exec_ns"`
+	AdmissionNs int64  `json:"admission_ns"`
+}
+
+// postQuery submits AQL as raw text, with an optional session token.
+func postQuery(t *testing.T, base, session, aql string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest("POST", base+"/query", strings.NewReader(aql))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	if session != "" {
+		req.Header.Set("X-SimDB-Session", session)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// readStream decodes a whole NDJSON response: rows, then exactly one
+// terminal summary or error record.
+func readStream(t *testing.T, body io.Reader) (rows []any, sum *summary, werr *wireErr) {
+	t.Helper()
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 64*1024), 8<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if sum != nil || werr != nil {
+			t.Fatalf("record after terminal record: %s", line)
+		}
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("bad NDJSON record %q: %v", line, err)
+		}
+		switch {
+		case rec.Summary != nil:
+			sum = &summary{}
+			if err := json.Unmarshal(rec.Summary, sum); err != nil {
+				t.Fatalf("bad summary %s: %v", rec.Summary, err)
+			}
+		case rec.Error != nil:
+			werr = &wireErr{}
+			if err := json.Unmarshal(rec.Error, werr); err != nil {
+				t.Fatalf("bad error record %s: %v", rec.Error, err)
+			}
+		default:
+			rows = append(rows, rec.Row)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream read: %v", err)
+	}
+	if sum == nil && werr == nil {
+		t.Fatal("stream ended without a terminal record")
+	}
+	return rows, sum, werr
+}
+
+// runQuery posts AQL and requires a fully successful stream.
+func runQuery(t *testing.T, base, session, aql string) ([]any, *summary) {
+	t.Helper()
+	resp := postQuery(t, base, session, aql)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("query %q: status %d: %s", aql, resp.StatusCode, body)
+	}
+	rows, sum, werr := readStream(t, resp.Body)
+	if werr != nil {
+		t.Fatalf("query %q failed mid-stream: %+v", aql, werr)
+	}
+	return rows, sum
+}
+
+// decodeErrorBody reads a non-200 response's structured error payload.
+func decodeErrorBody(t *testing.T, resp *http.Response) *wireErr {
+	t.Helper()
+	var body struct {
+		Error *wireErr `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("error body decode: %v", err)
+	}
+	if body.Error == nil {
+		t.Fatal("error response without error object")
+	}
+	return body.Error
+}
+
+// newSession creates a server-side session, optionally tenant-pinned.
+func newSession(t *testing.T, base, dataverse string) string {
+	t.Helper()
+	body := "{}"
+	if dataverse != "" {
+		body = fmt.Sprintf(`{"dataverse": %q}`, dataverse)
+	}
+	resp, err := http.Post(base+"/sessions", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("create session: status %d: %s", resp.StatusCode, b)
+	}
+	var out struct {
+		Session string `json:"session"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Session == "" {
+		t.Fatal("empty session token")
+	}
+	return out.Session
+}
+
+// seedReviews creates a Reviews dataset with n records through the
+// ingest endpoint (itself part of the surface under test).
+func seedReviews(t *testing.T, base string, n int) {
+	t.Helper()
+	runQuery(t, base, "", `create dataset Reviews primary key id;`)
+	names := []string{"james", "mary", "mario", "jamie", "maria", "marla"}
+	vocab := []string{"great", "product", "fantastic", "quality", "movie",
+		"charger", "gift", "best", "ever", "works"}
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		var words []string
+		for w, nw := 0, 3+(i*7)%5; w < nw; w++ {
+			words = append(words, vocab[(i+w)%len(vocab)])
+		}
+		fmt.Fprintf(&b, "{\"id\": %d, \"username\": %q, \"summary\": %q}\n",
+			i, names[i%len(names)], strings.Join(words, " "))
+	}
+	resp, err := http.Post(base+"/ingest/Reviews", "application/x-ndjson",
+		strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("ingest: status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Inserted int `json:"inserted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Inserted != n {
+		t.Fatalf("ingested %d records, want %d", out.Inserted, n)
+	}
+}
+
+// scrapeMetric fetches /metrics and returns the value of one
+// Prometheus sample (0 if absent).
+func scrapeMetric(t *testing.T, base, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			var v float64
+			fmt.Sscanf(fields[1], "%g", &v)
+			return v
+		}
+	}
+	return 0
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

@@ -1,0 +1,175 @@
+package simdbd
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"simdb/internal/cluster"
+)
+
+// serverSession is one client session: the engine Session carrying
+// use/set state, an optional tenant pin confining it to one dataverse,
+// and a mutex serializing its queries (cluster.Session is single-
+// goroutine by contract — a session behaves like one connection).
+type serverSession struct {
+	id     string
+	tenant string // non-empty: session is confined to this dataverse
+	mu     sync.Mutex
+	sess   *cluster.Session
+	// lastUsed (unix nanos, under store.mu) drives idle eviction.
+	lastUsed time.Time
+}
+
+// sessionStore tracks issued sessions with a size cap and idle
+// eviction.
+type sessionStore struct {
+	mu       sync.Mutex
+	m        map[string]*serverSession
+	max      int
+	idle     time.Duration
+	stopped  bool
+	stopCh   chan struct{}
+	stopOnce sync.Once
+}
+
+func newSessionStore(max int, idle time.Duration) *sessionStore {
+	s := &sessionStore{
+		m:      map[string]*serverSession{},
+		max:    max,
+		idle:   idle,
+		stopCh: make(chan struct{}),
+	}
+	go s.janitor()
+	return s
+}
+
+// create issues a new session. A non-empty tenant pins the session's
+// dataverse for its whole lifetime.
+func (st *sessionStore) create(tenant string) (*serverSession, *wireError) {
+	buf := make([]byte, 16)
+	if _, err := rand.Read(buf); err != nil {
+		return nil, wireErrf(codeInternal, http.StatusInternalServerError,
+			fmt.Sprintf("simdbd: session token: %v", err))
+	}
+	sess := cluster.NewSession()
+	if tenant != "" {
+		sess.Dataverse = tenant
+	}
+	ss := &serverSession{
+		id:       hex.EncodeToString(buf),
+		tenant:   tenant,
+		sess:     sess,
+		lastUsed: time.Now(),
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.stopped {
+		return nil, wireErrf(codeInternal, http.StatusServiceUnavailable,
+			"simdbd: server is shutting down")
+	}
+	if len(st.m) >= st.max {
+		return nil, wireErrf(codeTooManySessions, http.StatusTooManyRequests,
+			fmt.Sprintf("simdbd: session limit (%d) reached", st.max))
+	}
+	st.m[ss.id] = ss
+	mSessions.Set(int64(len(st.m)))
+	return ss, nil
+}
+
+// acquire resolves the request's session and locks it for one query;
+// the returned release must be called when the request finishes. An
+// empty token yields a throwaway session (no lock, no state carried
+// across requests).
+func (st *sessionStore) acquire(token string) (*serverSession, func(), *wireError) {
+	if token == "" {
+		return &serverSession{sess: cluster.NewSession()}, func() {}, nil
+	}
+	if !validSessionToken(token) {
+		return nil, nil, wireErrf(codeNotFound, http.StatusNotFound,
+			"simdbd: malformed session token")
+	}
+	st.mu.Lock()
+	ss, ok := st.m[token]
+	if ok {
+		ss.lastUsed = time.Now()
+	}
+	st.mu.Unlock()
+	if !ok {
+		return nil, nil, wireErrf(codeNotFound, http.StatusNotFound,
+			"simdbd: unknown session (expired or closed)")
+	}
+	// Serialize queries on the session: one session is one logical
+	// connection, and cluster.Session must not be shared across
+	// concurrent Executes.
+	ss.mu.Lock()
+	release := func() {
+		st.mu.Lock()
+		ss.lastUsed = time.Now()
+		st.mu.Unlock()
+		ss.mu.Unlock()
+	}
+	return ss, release, nil
+}
+
+// close removes a session; reports whether it existed.
+func (st *sessionStore) close(token string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.m[token]; !ok {
+		return false
+	}
+	delete(st.m, token)
+	mSessions.Set(int64(len(st.m)))
+	return true
+}
+
+// count returns the live session count.
+func (st *sessionStore) count() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.m)
+}
+
+// stop halts the janitor and refuses further session creation.
+func (st *sessionStore) stop() {
+	st.stopOnce.Do(func() {
+		st.mu.Lock()
+		st.stopped = true
+		st.mu.Unlock()
+		close(st.stopCh)
+	})
+}
+
+// janitor evicts sessions idle past the configured timeout. Sessions
+// with an in-flight query are busy by definition (their lastUsed was
+// just touched at acquire), so eviction only reaps truly abandoned
+// ones.
+func (st *sessionStore) janitor() {
+	period := st.idle / 4
+	if period < time.Second {
+		period = time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-st.stopCh:
+			return
+		case <-t.C:
+		}
+		cutoff := time.Now().Add(-st.idle)
+		st.mu.Lock()
+		for id, ss := range st.m {
+			if ss.lastUsed.Before(cutoff) && ss.mu.TryLock() {
+				ss.mu.Unlock()
+				delete(st.m, id)
+			}
+		}
+		mSessions.Set(int64(len(st.m)))
+		st.mu.Unlock()
+	}
+}
